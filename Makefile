@@ -1,0 +1,44 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every reproduction experiment table (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/cabench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/sensornet
+	$(GO) run ./examples/oracle
+	$(GO) run ./examples/clockagree
+	$(GO) run ./examples/drones
+	$(GO) run ./examples/fedlearn
+	$(GO) run ./examples/tcpdeploy
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,206 @@
+package convexagreement
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"convexagreement/internal/adversary"
+	"convexagreement/internal/baselines"
+	"convexagreement/internal/core"
+	"convexagreement/internal/highcostca"
+	"convexagreement/internal/sim"
+	"convexagreement/internal/transport"
+)
+
+// Agree runs one Convex Agreement instance over the built-in synchronous
+// network simulator. inputs[i] is party i's input; entries for corrupted
+// parties are ignored. The returned Result carries the common output and
+// the exact communication and round costs of the run.
+//
+// Termination, Agreement, and Convex Validity hold as long as
+// len(opts.Corruptions) ≤ opts.T < n/3 — whatever strategies the corrupted
+// parties run.
+func Agree(inputs []*big.Int, opts Options) (*Result, error) {
+	opts, err := normalize(inputs, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := opts.N
+
+	runner, err := protocolRunner(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	outputs := make(map[int]*big.Int, n)
+	var mu sync.Mutex
+	parties := make([]sim.Party, n)
+	for i := 0; i < n; i++ {
+		if corr, bad := opts.Corruptions[i]; bad {
+			behavior, err := corruptBehavior(corr, runner, opts.Seed+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			parties[i] = sim.Party{Corrupt: true, Behavior: behavior}
+			continue
+		}
+		input := inputs[i]
+		parties[i] = sim.Party{Behavior: func(env *sim.Env) error {
+			out, err := runner(env, input)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			outputs[int(env.ID())] = out
+			mu.Unlock()
+			return nil
+		}}
+	}
+	rep, err := sim.Run(sim.Config{N: n, T: opts.T, MaxRounds: opts.MaxRounds, Timeline: opts.Timeline}, parties)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Outputs:     outputs,
+		Rounds:      rep.Rounds,
+		HonestBits:  rep.HonestBits,
+		CorruptBits: rep.CorruptBits,
+		Messages:    rep.Messages,
+		BitsByLabel: rep.BitsByTag,
+	}
+	for _, rs := range rep.Timeline {
+		res.Timeline = append(res.Timeline, RoundStats(rs))
+	}
+	res.BitsByParty = append(res.BitsByParty, rep.BitsByParty...)
+	for _, out := range outputs {
+		if res.Output == nil {
+			res.Output = out
+		} else if res.Output.Cmp(out) != 0 {
+			return res, ErrDisagreement
+		}
+	}
+	return res, nil
+}
+
+// normalize validates and defaults the options.
+func normalize(inputs []*big.Int, opts Options) (Options, error) {
+	if opts.N == 0 {
+		opts.N = len(inputs)
+	}
+	if opts.N <= 0 || len(inputs) != opts.N {
+		return opts, fmt.Errorf("%w: %d inputs for n=%d", ErrOptions, len(inputs), opts.N)
+	}
+	if opts.T == 0 {
+		opts.T = (opts.N - 1) / 3
+	}
+	if opts.T < 0 || 3*opts.T >= opts.N {
+		return opts, fmt.Errorf("%w: t=%d violates t < n/3 for n=%d", ErrOptions, opts.T, opts.N)
+	}
+	if len(opts.Corruptions) > opts.T {
+		return opts, fmt.Errorf("%w: %d corruptions exceed budget t=%d", ErrOptions, len(opts.Corruptions), opts.T)
+	}
+	for idx := range opts.Corruptions {
+		if idx < 0 || idx >= opts.N {
+			return opts, fmt.Errorf("%w: corruption index %d out of range", ErrOptions, idx)
+		}
+	}
+	if opts.Protocol == "" {
+		opts.Protocol = ProtoOptimal
+	}
+	if opts.Protocol.NeedsWidth() && opts.Width <= 0 {
+		return opts, fmt.Errorf("%w: protocol %q requires Width", ErrOptions, opts.Protocol)
+	}
+	for i, v := range inputs {
+		if _, bad := opts.Corruptions[i]; bad {
+			continue
+		}
+		if v == nil {
+			return opts, fmt.Errorf("%w: party %d has nil input", ErrOptions, i)
+		}
+		if v.Sign() < 0 && !opts.Protocol.AcceptsNegative() {
+			return opts, fmt.Errorf("%w: protocol %q takes inputs in ℕ; party %d has %v", ErrOptions, opts.Protocol, i, v)
+		}
+	}
+	return opts, nil
+}
+
+// partyRunner executes the selected protocol for one party.
+type partyRunner func(net transport.Net, input *big.Int) (*big.Int, error)
+
+func protocolRunner(opts Options) (partyRunner, error) {
+	switch opts.Protocol {
+	case ProtoOptimal:
+		return func(net transport.Net, v *big.Int) (*big.Int, error) {
+			return core.PiZ(net, "ca", v)
+		}, nil
+	case ProtoOptimalNat:
+		return func(net transport.Net, v *big.Int) (*big.Int, error) {
+			return core.PiN(net, "ca", v)
+		}, nil
+	case ProtoFixedLength:
+		width := opts.Width
+		return func(net transport.Net, v *big.Int) (*big.Int, error) {
+			return core.FixedLengthCA(net, "ca", width, v)
+		}, nil
+	case ProtoFixedLengthBlocks:
+		width := opts.Width
+		return func(net transport.Net, v *big.Int) (*big.Int, error) {
+			return core.FixedLengthCABlocks(net, "ca", width, net.N()*net.N(), v)
+		}, nil
+	case ProtoHighCost:
+		return func(net transport.Net, v *big.Int) (*big.Int, error) {
+			return highcostca.Run(net, "ca", v)
+		}, nil
+	case ProtoBroadcast:
+		return func(net transport.Net, v *big.Int) (*big.Int, error) {
+			return baselines.BroadcastCA(net, "ca", v)
+		}, nil
+	case ProtoBroadcastParallel:
+		return func(net transport.Net, v *big.Int) (*big.Int, error) {
+			return baselines.BroadcastCAParallel(net, "ca", v)
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown protocol %q", ErrOptions, opts.Protocol)
+	}
+}
+
+// corruptBehavior instantiates a byzantine strategy.
+func corruptBehavior(c Corruption, runner partyRunner, seed int64) (sim.Behavior, error) {
+	switch c.Kind {
+	case AdvSilent:
+		return adversary.Silent(), nil
+	case AdvCrash:
+		return adversary.Crash(3), nil
+	case AdvGarbage:
+		return adversary.Garbage(seed, 128), nil
+	case AdvEquivocate:
+		return adversary.Equivocate(seed), nil
+	case AdvMirror:
+		return adversary.Mirror(seed%2 == 0), nil
+	case AdvSpam:
+		return adversary.Spam(seed, 3), nil
+	case AdvGhost:
+		input := c.Input
+		if input == nil {
+			return nil, fmt.Errorf("%w: AdvGhost requires Corruption.Input", ErrOptions)
+		}
+		return ghostBehavior(runner, input), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown adversary kind %q", ErrOptions, c.Kind)
+	}
+}
+
+// ghostBehavior runs the honest protocol with a poisoned input, then idles.
+func ghostBehavior(runner partyRunner, input *big.Int) sim.Behavior {
+	return func(env *sim.Env) error {
+		if _, err := runner(env, input); err != nil {
+			return err
+		}
+		for {
+			if _, err := env.ExchangeNone(); err != nil {
+				return err
+			}
+		}
+	}
+}

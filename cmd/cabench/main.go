@@ -1,0 +1,76 @@
+// Command cabench regenerates the reproduction experiments E1–E16 (see
+// DESIGN.md §3 and EXPERIMENTS.md): each experiment turns one complexity
+// theorem of "Communication-Optimal Convex Agreement" into a measured
+// table on the built-in synchronous network simulator.
+//
+// Usage:
+//
+//	cabench [-quick] [-labels] [experiment ...]
+//
+// With no arguments every experiment runs. Experiment names are E1..E16
+// (case-insensitive). -quick shrinks parameter ranges for a fast pass;
+// -labels dumps the heaviest per-subprotocol cost labels of one run;
+// -json emits machine-readable tables.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"convexagreement/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	quick := flag.Bool("quick", false, "shrink parameter ranges for a fast pass")
+	labels := flag.Bool("labels", false, "print the heaviest cost labels of one optimal-protocol run and exit")
+	asJSON := flag.Bool("json", false, "emit tables as a JSON array instead of text")
+	flag.Parse()
+
+	if *labels {
+		for _, line := range experiments.TopLabels(7, 1<<14, 25) {
+			fmt.Println(line)
+		}
+		return 0
+	}
+
+	ids := flag.Args()
+	var tables []experiments.Table
+	if len(ids) == 0 {
+		start := time.Now()
+		tables = experiments.All(*quick)
+		if !*asJSON {
+			defer func() {
+				fmt.Printf("all experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
+			}()
+		}
+	} else {
+		for _, id := range ids {
+			tbl, err := experiments.ByID(id, *quick)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			tables = append(tables, tbl)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+	for _, tbl := range tables {
+		fmt.Println(tbl.Render())
+	}
+	return 0
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"convexagreement/internal/experiments"
+)
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"451", 451, true},
+		{"11.33", 11.33, true},
+		{"2.00x", 2, true},
+		{"62%", 0.62, true},
+		{"37.5KiB", 37.5 * 8192, true},
+		{"1.0MiB", 8 * 1024 * 1024, true},
+		{"96b", 96, true},
+		{"-", 0, false},
+		{"", 0, false},
+		{"silent", 0, false},
+		{"true", 0, false},
+		{"12ab", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := parseCell(tc.in)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("parseCell(%q) = %v,%v want %v,%v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestRenderSyntheticTable(t *testing.T) {
+	tbl := experiments.Table{
+		ID:     "EX",
+		Title:  "synthetic",
+		Header: []string{"n", "bits", "label"},
+		Rows: [][]string{
+			{"4", "10.0KiB", "foo"},
+			{"8", "40.0KiB", "bar"},
+			{"16", "160.0KiB", "baz"},
+		},
+	}
+	chart, err := render(tbl, "", nil, true, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chart, "a = bits") {
+		t.Errorf("legend missing:\n%s", chart)
+	}
+	if strings.Count(chart, "a") < 3 {
+		t.Errorf("points missing:\n%s", chart)
+	}
+	// Explicit column selection and error paths.
+	if _, err := render(tbl, "nope", nil, true, 40, 10); err == nil {
+		t.Error("unknown x column accepted")
+	}
+	if _, err := render(tbl, "n", []string{"nope"}, true, 40, 10); err == nil {
+		t.Error("unknown y column accepted")
+	}
+	if _, err := render(tbl, "n", []string{"bits"}, false, 40, 10); err != nil {
+		t.Errorf("linear render failed: %v", err)
+	}
+	// A table with no numeric columns must error, not panic.
+	empty := experiments.Table{ID: "E0", Header: []string{"a", "b"}, Rows: [][]string{{"x", "y"}}}
+	if _, err := render(empty, "", nil, true, 40, 10); err == nil {
+		t.Error("non-numeric table accepted")
+	}
+}
+
+func TestColumnHelpers(t *testing.T) {
+	if colIndex([]string{"n", "Bits"}, "bits") != 1 {
+		t.Error("case-insensitive lookup failed")
+	}
+	if colIndex([]string{"n"}, "x") != -1 {
+		t.Error("missing column found")
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	ca "convexagreement"
+)
+
+func TestParseCorruptions(t *testing.T) {
+	got, err := parseCorruptions("2:ghost:1000000,5:silent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d corruptions", len(got))
+	}
+	if got[2].Kind != ca.AdvGhost || got[2].Input.Int64() != 1000000 {
+		t.Errorf("ghost entry = %+v", got[2])
+	}
+	if got[5].Kind != ca.AdvSilent || got[5].Input != nil {
+		t.Errorf("silent entry = %+v", got[5])
+	}
+	if got, err := parseCorruptions(""); err != nil || len(got) != 0 {
+		t.Errorf("empty spec: %v %v", got, err)
+	}
+	for _, bad := range []string{"2", "x:ghost", "2:ghost:notanumber"} {
+		if _, err := parseCorruptions(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestBuildInputs(t *testing.T) {
+	got, err := buildInputs("10,-3,12345678901234567890", 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1].Int64() != -3 {
+		t.Fatalf("inputs = %v", got)
+	}
+	if got[2].String() != "12345678901234567890" {
+		t.Errorf("big input = %v", got[2])
+	}
+	if _, err := buildInputs("1,x", 0, 0, 1); err == nil {
+		t.Error("garbage input accepted")
+	}
+	if _, err := buildInputs("1,2", 0, 3, 1); err == nil {
+		t.Error("n mismatch accepted")
+	}
+	rnd, err := buildInputs("", 16, 5, 7)
+	if err != nil || len(rnd) != 5 {
+		t.Fatalf("random inputs: %v %v", rnd, err)
+	}
+	for _, v := range rnd {
+		if v.Sign() < 0 || v.BitLen() > 16 {
+			t.Errorf("random input %v out of range", v)
+		}
+	}
+	again, _ := buildInputs("", 16, 5, 7)
+	for i := range rnd {
+		if rnd[i].Cmp(again[i]) != 0 {
+			t.Error("random inputs not seed-deterministic")
+		}
+	}
+}

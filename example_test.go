@@ -1,0 +1,103 @@
+package convexagreement_test
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	ca "convexagreement"
+)
+
+// The basic simulated flow: four parties, one byzantine ghost claiming an
+// absurd value, agreement guaranteed inside the honest range.
+func ExampleAgree() {
+	inputs := []*big.Int{
+		big.NewInt(102), big.NewInt(97), big.NewInt(105),
+		nil, // corrupted party — its entry is ignored
+	}
+	res, err := ca.Agree(inputs, ca.Options{
+		Corruptions: map[int]ca.Corruption{
+			3: {Kind: ca.AdvGhost, Input: big.NewInt(1_000_000)},
+		},
+		Seed: 42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ca.InHull(res.Output, inputs[:3]))
+	// Output: true
+}
+
+// Vector agreement: coordinate-wise composition keeps every coordinate of
+// the output inside the honest per-coordinate ranges.
+func ExampleAgreeVector() {
+	inputs := [][]*big.Int{
+		{big.NewInt(10), big.NewInt(-5)},
+		{big.NewInt(12), big.NewInt(-7)},
+		{big.NewInt(11), big.NewInt(-6)},
+		{big.NewInt(13), big.NewInt(-4)},
+	}
+	res, err := ca.AgreeVector(inputs, ca.Options{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	x := res.Output[0].Int64()
+	y := res.Output[1].Int64()
+	fmt.Println(10 <= x && x <= 13, -7 <= y && y <= -4)
+	// Output: true true
+}
+
+// Approximate Agreement trades exactness for speed: outputs are within ε
+// of each other and inside the honest hull.
+func ExampleApproxAgree() {
+	inputs := []*big.Int{
+		big.NewInt(100), big.NewInt(900), big.NewInt(400), big.NewInt(600),
+	}
+	res, err := ca.ApproxAgree(inputs, big.NewInt(1000), big.NewInt(8), ca.Options{Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Spread.Cmp(big.NewInt(8)) <= 0)
+	// Output: true
+}
+
+// Deployment shape: parties run over real transports. NewLocalCluster
+// hosts them in-process; DialTCP works identically across machines.
+func ExampleRunParty() {
+	const n = 4
+	cluster, err := ca.NewLocalCluster(n, 0)
+	if err != nil {
+		panic(err)
+	}
+	inputs := []*big.Int{big.NewInt(4), big.NewInt(-1), big.NewInt(2), big.NewInt(3)}
+	outputs := make([]*big.Int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer cluster[i].Close()
+			out, err := ca.RunParty(cluster[i], ca.ProtoOptimal, 0, inputs[i])
+			if err != nil {
+				panic(err)
+			}
+			outputs[i] = out
+		}(i)
+	}
+	wg.Wait()
+	fmt.Println(outputs[0].Cmp(outputs[3]) == 0, ca.InHull(outputs[0], inputs))
+	// Output: true true
+}
+
+// FixedPoint realizes the paper's "rationals at a pre-agreed precision"
+// interpretation of the integer inputs.
+func ExampleFixedPoint() {
+	fp, err := ca.NewFixedPoint(2)
+	if err != nil {
+		panic(err)
+	}
+	reading, _ := new(big.Rat).SetString("-10.05")
+	scaled, _ := fp.FromRat(reading)
+	fmt.Println(scaled, fp.String(scaled))
+	// Output: -1005 -10.05
+}

@@ -1,0 +1,79 @@
+// Drones models byzantine-tolerant robotic coordination (the paper cites
+// robot gathering [44] as a CA application): a swarm of drones must agree
+// on a 3D rendezvous point. Each drone proposes a point near the formation
+// center from its own noisy position estimate; hijacked drones propose
+// points kilometres away to lure the swarm off course.
+//
+// The swarm runs vector Convex Agreement (coordinate-wise Π_ℤ composed in
+// parallel): each coordinate of the agreed point provably lies within the
+// honest proposals' range in that coordinate, so the rendezvous stays
+// inside the honest swarm's bounding box no matter what the hijacked
+// drones do.
+//
+// Run with: go run ./examples/drones
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"math/rand"
+
+	ca "convexagreement"
+)
+
+func main() {
+	const n = 10 // swarm size; tolerates up to 3 hijacked drones
+	rng := rand.New(rand.NewSource(33))
+
+	// Honest proposals: centimetre coordinates near (120m, 80m, 50m).
+	center := []int64{12000, 8000, 5000}
+	inputs := make([][]*big.Int, n)
+	for i := range inputs {
+		vec := make([]*big.Int, 3)
+		for c := range vec {
+			vec[c] = big.NewInt(center[c] + rng.Int63n(401) - 200) // ±2m noise
+		}
+		inputs[i] = vec
+	}
+	// Three hijacked drones lure toward a point 5km away, each with a
+	// different strategy.
+	corr := map[int]ca.Corruption{
+		1: {Kind: ca.AdvGhost, InputVector: []*big.Int{
+			big.NewInt(500000), big.NewInt(-500000), big.NewInt(0),
+		}},
+		4: {Kind: ca.AdvEquivocate},
+		7: {Kind: ca.AdvSpam},
+	}
+	var honest [][]*big.Int
+	for i, vec := range inputs {
+		if _, bad := corr[i]; !bad {
+			honest = append(honest, vec)
+		}
+	}
+
+	res, err := ca.AgreeVector(inputs, ca.Options{Corruptions: corr, Seed: 33})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("swarm of %d drones, %d hijacked\n", n, len(corr))
+	fmt.Printf("agreed rendezvous: (%sm, %sm, %sm)\n",
+		metres(res.Output[0]), metres(res.Output[1]), metres(res.Output[2]))
+	for c, axis := range []string{"x", "y", "z"} {
+		col := make([]*big.Int, 0, len(honest))
+		for _, vec := range honest {
+			col = append(col, vec[c])
+		}
+		lo, hi, _ := ca.Hull(col)
+		fmt.Printf("  %s within honest range [%sm, %sm]: %v\n",
+			axis, metres(lo), metres(hi), ca.InHull(res.Output[c], col))
+	}
+	fmt.Printf("cost: %d honest bits over %d rounds (3 coordinates share rounds)\n",
+		res.HonestBits, res.Rounds)
+}
+
+func metres(cm *big.Int) string {
+	f := new(big.Float).SetInt(cm)
+	f.Quo(f, big.NewFloat(100))
+	return f.Text('f', 2)
+}

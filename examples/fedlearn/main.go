@@ -1,0 +1,78 @@
+// Fedlearn models byzantine-robust distributed machine learning (the paper
+// cites collaborative/byzantine ML [4, 18, 19, 48] as a CA application):
+// worker nodes jointly train a tiny linear model, agreeing each step on a
+// common gradient via vector Convex Agreement.
+//
+// Poisoning workers submit gradients designed to blow the model up; box
+// validity clamps every coordinate of the agreed gradient into the honest
+// workers' range, so the model converges despite them — the agreement-based
+// cousin of coordinate-wise trimmed-mean robust aggregation, with the extra
+// guarantee that all workers apply *exactly the same* update.
+//
+// Run with: go run ./examples/fedlearn
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"math/rand"
+
+	ca "convexagreement"
+)
+
+const fixedScale = 1000 // gradients in thousandths
+
+func main() {
+	const (
+		n     = 7  // workers, tolerating 2 byzantine
+		steps = 8  // training steps
+		lr    = 40 // learning rate (percent)
+	)
+	rng := rand.New(rand.NewSource(5))
+
+	// Ground truth the honest workers' local data reflects: w* = (3.0, -2.0).
+	truth := []float64{3.0, -2.0}
+	model := []float64{0, 0}
+
+	corr := map[int]ca.Corruption{
+		2: {Kind: ca.AdvGhost, InputVector: []*big.Int{
+			big.NewInt(1_000_000), big.NewInt(1_000_000), // exploding gradient
+		}},
+		5: {Kind: ca.AdvEquivocate},
+	}
+	fmt.Printf("%d workers (%d poisoned) training toward w* = (%.1f, %.1f)\n\n", n, len(corr), truth[0], truth[1])
+	fmt.Println("step  agreed gradient        model after step     distance to w*")
+	for step := 0; step < steps; step++ {
+		// Each honest worker proposes a noisy gradient pointing at w*.
+		inputs := make([][]*big.Int, n)
+		for w := 0; w < n; w++ {
+			vec := make([]*big.Int, 2)
+			for c := range vec {
+				grad := truth[c] - model[c]
+				noise := (rng.Float64() - 0.5) * 0.2
+				vec[c] = big.NewInt(int64((grad + noise) * fixedScale))
+			}
+			inputs[w] = vec
+		}
+		res, err := ca.AgreeVector(inputs, ca.Options{Corruptions: corr, Seed: int64(step)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for c := range model {
+			model[c] += float64(res.Output[c].Int64()) / fixedScale * lr / 100
+		}
+		dist := 0.0
+		for c := range model {
+			d := truth[c] - model[c]
+			dist += d * d
+		}
+		fmt.Printf("%4d  (%+7.3f, %+7.3f)     (%+6.3f, %+6.3f)     %.4f\n",
+			step,
+			float64(res.Output[0].Int64())/fixedScale,
+			float64(res.Output[1].Int64())/fixedScale,
+			model[0], model[1], dist)
+	}
+	fmt.Println("\nthe poisoned 10⁶-magnitude gradients never reached the model:")
+	fmt.Println("every agreed coordinate was clamped into the honest workers' range.")
+}

@@ -1,0 +1,42 @@
+// Quickstart: four parties agree on a value that is guaranteed to lie
+// within the range of the honest inputs, even though one party is
+// byzantine.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	ca "convexagreement"
+)
+
+func main() {
+	// Party inputs. Party 3 is corrupted: its "input" is whatever lie its
+	// ghost strategy tells the others (a wildly out-of-range 1e12).
+	inputs := []*big.Int{
+		big.NewInt(102),
+		big.NewInt(97),
+		big.NewInt(105),
+		nil, // corrupted party — its entry is ignored
+	}
+	res, err := ca.Agree(inputs, ca.Options{
+		Protocol: ca.ProtoOptimal, // the paper's Π_ℤ (Corollary 2)
+		Corruptions: map[int]ca.Corruption{
+			3: {Kind: ca.AdvGhost, Input: big.NewInt(1_000_000_000_000)},
+		},
+		Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	honest := inputs[:3]
+	lo, hi, _ := ca.Hull(honest)
+	fmt.Printf("agreed output:   %v\n", res.Output)
+	fmt.Printf("honest inputs:   %v (hull [%v, %v])\n", honest, lo, hi)
+	fmt.Printf("inside hull:     %v\n", ca.InHull(res.Output, honest))
+	fmt.Printf("cost:            %d honest bits over %d rounds\n", res.HonestBits, res.Rounds)
+}

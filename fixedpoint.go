@@ -1,0 +1,72 @@
+package convexagreement
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// The paper's protocols take bitstrings "interpreted as integer values …
+// one could alternatively interpret the inputs being rational numbers with
+// some arbitrary pre-defined precision" (§1). FixedPoint realizes that
+// interpretation: a publicly agreed number of fractional decimal digits
+// maps rationals to the integers the protocols operate on and back.
+//
+// Because the mapping is monotone, Convex Validity transfers: an output in
+// the hull of the scaled honest inputs decodes to a rational in the hull of
+// the original honest rationals (up to the agreed precision).
+type FixedPoint struct {
+	digits int
+	scale  *big.Int
+}
+
+// NewFixedPoint returns a codec with the given number of fractional
+// decimal digits (0 ≤ digits ≤ 1000).
+func NewFixedPoint(digits int) (*FixedPoint, error) {
+	if digits < 0 || digits > 1000 {
+		return nil, fmt.Errorf("%w: fixed-point digits %d out of range", ErrOptions, digits)
+	}
+	scale := new(big.Int).Exp(big.NewInt(10), big.NewInt(int64(digits)), nil)
+	return &FixedPoint{digits: digits, scale: scale}, nil
+}
+
+// Digits returns the configured precision.
+func (fp *FixedPoint) Digits() int { return fp.digits }
+
+// FromRat scales a rational to the protocol's integer domain, truncating
+// toward zero beyond the configured precision. All honest parties must use
+// the same precision (it is a public protocol parameter, like ℓ).
+func (fp *FixedPoint) FromRat(r *big.Rat) (*big.Int, error) {
+	if r == nil {
+		return nil, fmt.Errorf("%w: nil rational", ErrOptions)
+	}
+	num := new(big.Int).Mul(r.Num(), fp.scale)
+	return num.Quo(num, r.Denom()), nil
+}
+
+// FromFloat64 scales a float (convenience for sensor-style callers); it
+// rejects NaN and infinities.
+func (fp *FixedPoint) FromFloat64(f float64) (*big.Int, error) {
+	r := new(big.Rat)
+	if _, ok := r.SetString(fmt.Sprintf("%g", f)); !ok {
+		return nil, fmt.Errorf("%w: float %v is not finite", ErrOptions, f)
+	}
+	return fp.FromRat(r)
+}
+
+// ToRat decodes a protocol output back to a rational.
+func (fp *FixedPoint) ToRat(v *big.Int) (*big.Rat, error) {
+	if v == nil {
+		return nil, fmt.Errorf("%w: nil value", ErrOptions)
+	}
+	return new(big.Rat).SetFrac(v, fp.scale), nil
+}
+
+// String renders a protocol output as a decimal string at the codec's
+// precision, e.g. "-10.050".
+func (fp *FixedPoint) String(v *big.Int) string {
+	r, err := fp.ToRat(v)
+	if err != nil {
+		return "<nil>"
+	}
+	return r.FloatString(fp.digits)
+}

@@ -1,0 +1,103 @@
+package convexagreement_test
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	ca "convexagreement"
+)
+
+func TestFixedPointRoundTrip(t *testing.T) {
+	fp, err := ca.NewFixedPoint(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		in   string
+		want int64
+		text string
+	}{
+		{"-10.05", -10050, "-10.050"},
+		{"0", 0, "0.000"},
+		{"1/3", 333, "0.333"},
+		{"2.7185", 2718, "2.718"}, // truncation toward zero
+		{"-2.7185", -2718, "-2.718"},
+	}
+	for _, tc := range cases {
+		r, ok := new(big.Rat).SetString(tc.in)
+		if !ok {
+			t.Fatalf("bad case %q", tc.in)
+		}
+		v, err := fp.FromRat(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Int64() != tc.want {
+			t.Errorf("FromRat(%s) = %v, want %d", tc.in, v, tc.want)
+		}
+		if got := fp.String(v); got != tc.text {
+			t.Errorf("String(%v) = %q, want %q", v, got, tc.text)
+		}
+	}
+}
+
+func TestFixedPointValidation(t *testing.T) {
+	if _, err := ca.NewFixedPoint(-1); err == nil {
+		t.Error("negative digits accepted")
+	}
+	if _, err := ca.NewFixedPoint(1001); err == nil {
+		t.Error("absurd digits accepted")
+	}
+	fp, _ := ca.NewFixedPoint(2)
+	if _, err := fp.FromRat(nil); err == nil {
+		t.Error("nil rat accepted")
+	}
+	if _, err := fp.ToRat(nil); err == nil {
+		t.Error("nil value accepted")
+	}
+	if _, err := fp.FromFloat64(math.NaN()); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := fp.FromFloat64(math.Inf(1)); err == nil {
+		t.Error("Inf accepted")
+	}
+	if v, err := fp.FromFloat64(-10.05); err != nil || v.Int64() != -1005 {
+		t.Errorf("FromFloat64(-10.05) = %v, %v", v, err)
+	}
+}
+
+// TestFixedPointEndToEnd runs the paper's sensor scenario through the
+// rational interface: readings in °C, agreement on the scaled integers,
+// decode back to a temperature inside the honest band.
+func TestFixedPointEndToEnd(t *testing.T) {
+	fp, _ := ca.NewFixedPoint(2)
+	readings := []string{"-10.05", "-10.04", "-10.03", "-10.04"}
+	inputs := make([]*big.Int, 5)
+	for i, s := range readings {
+		r, _ := new(big.Rat).SetString(s)
+		v, err := fp.FromRat(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs[i] = v
+	}
+	inputs[4] = nil // corrupted sensor
+	hot, _ := fp.FromFloat64(100.0)
+	res, err := ca.Agree(inputs, ca.Options{
+		Corruptions: map[int]ca.Corruption{4: {Kind: ca.AdvGhost, Input: hot}},
+		Seed:        9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fp.ToRat(res.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := new(big.Rat).SetString("-10.05")
+	hi, _ := new(big.Rat).SetString("-10.03")
+	if out.Cmp(lo) < 0 || out.Cmp(hi) > 0 {
+		t.Fatalf("decoded output %s outside honest band", out.FloatString(2))
+	}
+}

@@ -1,0 +1,3 @@
+module convexagreement
+
+go 1.22

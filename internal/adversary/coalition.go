@@ -1,0 +1,95 @@
+package adversary
+
+import (
+	"sort"
+	"sync"
+
+	"convexagreement/internal/sim"
+)
+
+// Coalition builds a set of corrupted behaviors that share state and act as
+// one coordinated attacker — strictly stronger than independent strategies:
+// all members relay the SAME pair of conflicting honest payloads, split
+// across the same partition of recipients, every round. Against quorum
+// protocols this maximizes the chance that different honest parties see
+// contradictory-but-internally-consistent worlds.
+//
+// The returned behaviors must all be used in the same run.
+type Coalition struct {
+	mu   sync.Mutex
+	plan map[uint64]coalitionPlan // per shared round counter
+	seen map[sim.PartyID]uint64   // per-member round counter
+}
+
+type coalitionPlan struct {
+	low, high []byte // the two payloads members push this round
+}
+
+// NewCoalition creates the shared state for one run.
+func NewCoalition() *Coalition {
+	return &Coalition{plan: make(map[uint64]coalitionPlan), seen: make(map[sim.PartyID]uint64)}
+}
+
+// Member returns one coalition member's behavior.
+func (c *Coalition) Member() sim.Behavior {
+	return func(env *sim.Env) error {
+		for {
+			spied, err := env.PeekHonest()
+			if err != nil {
+				return err
+			}
+			round := c.nextRound(env.ID())
+			plan := c.planFor(round, spied)
+			var out []sim.Packet
+			if plan.low != nil {
+				for to := 0; to < env.N(); to++ {
+					payload := plan.low
+					if to%2 == 1 {
+						payload = plan.high
+					}
+					out = append(out, sim.Packet{To: sim.PartyID(to), Tag: tag, Payload: payload})
+				}
+			}
+			if _, err := env.Exchange(out); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// nextRound advances this member's round counter.
+func (c *Coalition) nextRound(id sim.PartyID) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seen[id]++
+	return c.seen[id]
+}
+
+// planFor computes (once per round, shared by all members) the two extreme
+// honest payloads of the round: the lexicographically smallest and largest.
+// Pushing the extremes maximizes disagreement pressure on value protocols.
+func (c *Coalition) planFor(round uint64, spied []sim.Spied) coalitionPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if plan, ok := c.plan[round]; ok {
+		return plan
+	}
+	byFrom := make(map[sim.PartyID][]byte)
+	for _, s := range spied {
+		if _, ok := byFrom[s.From]; !ok {
+			byFrom[s.From] = s.Payload
+		}
+	}
+	payloads := make([]string, 0, len(byFrom))
+	for _, p := range byFrom {
+		payloads = append(payloads, string(p))
+	}
+	sort.Strings(payloads)
+	var plan coalitionPlan
+	if len(payloads) > 0 {
+		plan.low = []byte(payloads[0])
+		plan.high = []byte(payloads[len(payloads)-1])
+	}
+	c.plan[round] = plan
+	return plan
+}

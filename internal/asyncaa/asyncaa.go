@@ -1,0 +1,211 @@
+// Package asyncaa implements asynchronous Approximate Agreement for t < n/3
+// — the protocol family (Dolev et al. [16]; Abraham, Amit, Dolev [1]) that
+// the paper's related work builds on, and the setting (§8) the paper names
+// as the natural extension target for its communication-optimal techniques.
+//
+// Each iteration r:
+//
+//  1. Reliably broadcast (package rbc) the current value in slot r.
+//  2. Collect round-r values from n−t distinct senders.
+//  3. Witness technique [1]: report the set of senders used; wait until
+//     n−t parties' reports are subsets of the senders we have delivered
+//     (collecting more deliveries as needed). Any two honest parties then
+//     share an honest witness, hence ≥ n−t common (sender, value) pairs —
+//     RBC consistency makes byzantine values identical across parties, so
+//     the usual halving argument goes through despite different n−t views.
+//  4. Move to the midpoint of the t-trimmed collected values.
+//
+// After its last iteration a party marks its output (asyncnet.MarkDone) and
+// keeps serving echoes for slower parties until the run halts — the
+// standard non-terminating structure of asynchronous protocols.
+//
+// Guarantees for t < n/3 under any message schedule: every honest output
+// lies in the honest inputs' hull, and outputs are pairwise within ε.
+package asyncaa
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"convexagreement/internal/asyncnet"
+	"convexagreement/internal/rbc"
+	"convexagreement/internal/wire"
+)
+
+// reportTag distinguishes witness reports from rbc traffic (rbc uses 1–3).
+const reportTag byte = 16
+
+// Run executes asynchronous AA for one party. All honest parties must use
+// the same diameterBound (a public bound on the honest inputs' spread) and
+// epsilon ≥ 1; inputs are naturals.
+func Run(net *asyncnet.Net, id asyncnet.PartyID, input, diameterBound, epsilon *big.Int) (*big.Int, error) {
+	if input == nil || diameterBound == nil || epsilon == nil {
+		return nil, errors.New("asyncaa: nil argument")
+	}
+	if input.Sign() < 0 || epsilon.Sign() <= 0 || diameterBound.Sign() < 0 {
+		return nil, errors.New("asyncaa: need input ≥ 0, epsilon ≥ 1, diameterBound ≥ 0")
+	}
+	n, t := net.N(), net.T()
+	node := rbc.NewNode(net, id)
+	// values[r][sender] is the RBC-delivered round-r value of sender.
+	values := make(map[uint64]map[asyncnet.PartyID]*big.Int)
+	// reports[r][reporter] is the reporter's claimed sender set.
+	reports := make(map[uint64]map[asyncnet.PartyID][]asyncnet.PartyID)
+
+	handle := func(msg asyncnet.Message) {
+		if len(msg.Payload) > 0 && msg.Payload[0] == reportTag {
+			r, set, ok := decodeReport(msg.Payload)
+			if !ok {
+				return
+			}
+			byReporter := reports[r]
+			if byReporter == nil {
+				byReporter = make(map[asyncnet.PartyID][]asyncnet.PartyID)
+				reports[r] = byReporter
+			}
+			if _, dup := byReporter[msg.From]; !dup {
+				byReporter[msg.From] = set
+			}
+			return
+		}
+		for _, d := range node.Handle(msg) {
+			bySender := values[d.Slot]
+			if bySender == nil {
+				bySender = make(map[asyncnet.PartyID]*big.Int)
+				values[d.Slot] = bySender
+			}
+			if _, dup := bySender[d.Sender]; !dup {
+				bySender[d.Sender] = new(big.Int).SetBytes(d.Value)
+			}
+		}
+	}
+
+	v := new(big.Int).Set(input)
+	rounds := Rounds(diameterBound, epsilon)
+	for r := uint64(1); r <= uint64(rounds); r++ {
+		node.Broadcast(r, v.Bytes())
+		// Phase 1: n−t round-r values.
+		for len(values[r]) < n-t {
+			msg, err := net.Recv(id)
+			if err != nil {
+				return nil, fmt.Errorf("asyncaa: round %d value collection: %w", r, err)
+			}
+			handle(msg)
+		}
+		// Phase 2: report our sender set, then gather n−t witnesses whose
+		// reported sets we can cover (our delivered set keeps growing).
+		net.Broadcast(id, encodeReport(r, senderSet(values[r])))
+		for countWitnesses(reports[r], values[r]) < n-t {
+			msg, err := net.Recv(id)
+			if err != nil {
+				return nil, fmt.Errorf("asyncaa: round %d witnesses: %w", r, err)
+			}
+			handle(msg)
+		}
+		v = trimmedMidpoint(values[r], t)
+	}
+	// Output reached; serve slower parties until the run halts.
+	net.MarkDone(id)
+	for {
+		msg, err := net.Recv(id)
+		if err != nil {
+			if errors.Is(err, asyncnet.ErrHalted) {
+				return v, nil
+			}
+			return nil, err
+		}
+		handle(msg)
+	}
+}
+
+// Rounds returns the iteration count for a public diameter bound and
+// tolerance: ⌈log₂(D/ε)⌉ plus two slack rounds for integer floors.
+func Rounds(diameterBound, epsilon *big.Int) int {
+	ratio := new(big.Int).Div(diameterBound, epsilon)
+	rounds := 2
+	for ratio.Sign() > 0 {
+		ratio.Rsh(ratio, 1)
+		rounds++
+	}
+	return rounds
+}
+
+// senderSet lists the senders whose round values have been delivered,
+// sorted for a canonical wire form.
+func senderSet(bySender map[asyncnet.PartyID]*big.Int) []asyncnet.PartyID {
+	out := make([]asyncnet.PartyID, 0, len(bySender))
+	for id := range bySender {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// countWitnesses counts reporters whose claimed sender sets are fully
+// covered by our delivered values.
+func countWitnesses(byReporter map[asyncnet.PartyID][]asyncnet.PartyID, bySender map[asyncnet.PartyID]*big.Int) int {
+	count := 0
+	for _, set := range byReporter {
+		covered := true
+		for _, s := range set {
+			if _, ok := bySender[s]; !ok {
+				covered = false
+				break
+			}
+		}
+		if covered && len(set) > 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// trimmedMidpoint drops the t lowest and t highest of the collected values
+// and returns the midpoint of the rest. With ≥ n−t > 2t values this is
+// always inside the honest hull.
+func trimmedMidpoint(bySender map[asyncnet.PartyID]*big.Int, t int) *big.Int {
+	vals := make([]*big.Int, 0, len(bySender))
+	for _, v := range bySender {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Cmp(vals[j]) < 0 })
+	trimmed := vals[t : len(vals)-t]
+	mid := new(big.Int).Add(trimmed[0], trimmed[len(trimmed)-1])
+	return mid.Rsh(mid, 1)
+}
+
+// encodeReport frames a witness report.
+func encodeReport(round uint64, set []asyncnet.PartyID) []byte {
+	w := wire.NewWriter(8 + 2*len(set))
+	w.Byte(reportTag)
+	w.Uvarint(round)
+	w.Uvarint(uint64(len(set)))
+	for _, id := range set {
+		w.Uvarint(uint64(id))
+	}
+	return w.Finish()
+}
+
+// decodeReport parses a witness report; ok=false on garbage (including
+// absurd set sizes, which byzantine reporters might use as a memory bomb).
+func decodeReport(raw []byte) (uint64, []asyncnet.PartyID, bool) {
+	r := wire.NewReader(raw)
+	if r.Byte() != reportTag {
+		return 0, nil, false
+	}
+	round := r.Uvarint()
+	count := r.Int()
+	if r.Err() != nil || count > 1<<16 {
+		return 0, nil, false
+	}
+	set := make([]asyncnet.PartyID, 0, count)
+	for i := 0; i < count; i++ {
+		set = append(set, asyncnet.PartyID(r.Int()))
+	}
+	if r.Close() != nil {
+		return 0, nil, false
+	}
+	return round, set, true
+}

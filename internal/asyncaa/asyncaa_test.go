@@ -1,0 +1,227 @@
+package asyncaa_test
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"convexagreement/internal/asyncaa"
+	"convexagreement/internal/asyncnet"
+)
+
+// runCampaign executes async AA with the given corrupt behaviors and
+// returns the honest outputs.
+func runCampaign(t *testing.T, n, tc int, inputs []*big.Int, diameter, eps int64,
+	sched asyncnet.Scheduler, corrupt map[int]asyncnet.Behavior) map[asyncnet.PartyID]*big.Int {
+	t.Helper()
+	var mu sync.Mutex
+	outputs := make(map[asyncnet.PartyID]*big.Int)
+	parties := make([]asyncnet.Party, n)
+	for i := 0; i < n; i++ {
+		if b, bad := corrupt[i]; bad {
+			parties[i] = asyncnet.Party{Corrupt: true, Behavior: b}
+			continue
+		}
+		input := inputs[i]
+		parties[i] = asyncnet.Party{Behavior: func(net *asyncnet.Net, id asyncnet.PartyID) error {
+			out, err := asyncaa.Run(net, id, input, big.NewInt(diameter), big.NewInt(eps))
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			outputs[id] = out
+			mu.Unlock()
+			return nil
+		}}
+	}
+	if _, err := asyncnet.Run(asyncnet.Config{N: n, T: tc, Scheduler: sched, Seed: 7}, parties); err != nil {
+		t.Fatal(err)
+	}
+	if len(outputs) != n-len(corrupt) {
+		t.Fatalf("%d honest outputs, want %d", len(outputs), n-len(corrupt))
+	}
+	return outputs
+}
+
+func checkOutputs(t *testing.T, outputs map[asyncnet.PartyID]*big.Int, honest []*big.Int, eps int64) {
+	t.Helper()
+	lo, hi := honest[0], honest[0]
+	for _, v := range honest {
+		if v.Cmp(lo) < 0 {
+			lo = v
+		}
+		if v.Cmp(hi) > 0 {
+			hi = v
+		}
+	}
+	var all []*big.Int
+	for id, v := range outputs {
+		if v.Cmp(lo) < 0 || v.Cmp(hi) > 0 {
+			t.Fatalf("party %d output %v outside honest hull [%v, %v]", id, v, lo, hi)
+		}
+		all = append(all, v)
+	}
+	for i := range all {
+		for j := range all {
+			d := new(big.Int).Sub(all[i], all[j])
+			if d.Abs(d).Cmp(big.NewInt(eps)) > 0 {
+				t.Fatalf("outputs %v, %v differ by more than ε=%d", all[i], all[j], eps)
+			}
+		}
+	}
+}
+
+// silentAsync ignores everything.
+func silentAsync() asyncnet.Behavior {
+	return func(net *asyncnet.Net, id asyncnet.PartyID) error {
+		for {
+			if _, err := net.Recv(id); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// ghostAsync runs the honest protocol with a poisoned input, then serves.
+func ghostAsync(input *big.Int, diameter, eps int64) asyncnet.Behavior {
+	return func(net *asyncnet.Net, id asyncnet.PartyID) error {
+		_, err := asyncaa.Run(net, id, input, big.NewInt(diameter), big.NewInt(eps))
+		return err
+	}
+}
+
+// garbageAsync floods undecodable payloads, then serves silently.
+func garbageAsync(seed int64) asyncnet.Behavior {
+	return func(net *asyncnet.Net, id asyncnet.PartyID) error {
+		rng := rand.New(rand.NewSource(seed))
+		for k := 0; k < 50; k++ {
+			buf := make([]byte, rng.Intn(32))
+			rng.Read(buf)
+			net.Broadcast(id, buf)
+		}
+		for {
+			if _, err := net.Recv(id); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func TestConvergenceHonestOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 4; trial++ {
+		n := 4 + rng.Intn(6)
+		tc := (n - 1) / 3
+		const diameter = 1 << 16
+		inputs := make([]*big.Int, n)
+		for i := range inputs {
+			inputs[i] = big.NewInt(rng.Int63n(diameter))
+		}
+		outputs := runCampaign(t, n, tc, inputs, diameter, 8, nil, nil)
+		checkOutputs(t, outputs, inputs, 8)
+	}
+}
+
+func TestConvergenceUnderSchedulers(t *testing.T) {
+	const n, tc = 7, 2
+	const diameter = 1 << 14
+	inputs := make([]*big.Int, n)
+	rng := rand.New(rand.NewSource(5))
+	for i := range inputs {
+		inputs[i] = big.NewInt(rng.Int63n(diameter))
+	}
+	schedulers := map[string]asyncnet.Scheduler{
+		"random": asyncnet.NewRandomScheduler(9),
+		"lifo":   asyncnet.LIFOScheduler{},
+		"delay":  asyncnet.NewDelayScheduler(9, 0, 3), // starve two honest parties
+	}
+	for name, sched := range schedulers {
+		sched := sched
+		t.Run(name, func(t *testing.T) {
+			outputs := runCampaign(t, n, tc, inputs, diameter, 4, sched, nil)
+			checkOutputs(t, outputs, inputs, 4)
+		})
+	}
+}
+
+func TestByzantineMixtures(t *testing.T) {
+	const n, tc = 10, 3
+	const diameter = 1 << 12
+	const eps = 4
+	inputs := make([]*big.Int, n)
+	rng := rand.New(rand.NewSource(11))
+	for i := range inputs {
+		inputs[i] = big.NewInt(1000 + rng.Int63n(2000))
+	}
+	huge := new(big.Int).Lsh(big.NewInt(1), 40)
+	corrupt := map[int]asyncnet.Behavior{
+		1: silentAsync(),
+		4: ghostAsync(huge, diameter, eps), // reports far outside the bound
+		8: garbageAsync(13),
+	}
+	var honest []*big.Int
+	for i, v := range inputs {
+		if _, bad := corrupt[i]; !bad {
+			honest = append(honest, v)
+		}
+	}
+	outputs := runCampaign(t, n, tc, inputs, diameter, eps, asyncnet.NewRandomScheduler(17), corrupt)
+	checkOutputs(t, outputs, honest, eps)
+}
+
+// TestScheduleSeedSweep drives many scheduler seeds through one fixed
+// instance: ε-agreement and hull membership must hold for every schedule.
+func TestScheduleSeedSweep(t *testing.T) {
+	const n, tc = 7, 2
+	const diameter = 1 << 10
+	inputs := make([]*big.Int, n)
+	rng := rand.New(rand.NewSource(19))
+	for i := range inputs {
+		inputs[i] = big.NewInt(rng.Int63n(diameter))
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		outputs := runCampaign(t, n, tc, inputs, diameter, 4, asyncnet.NewRandomScheduler(seed), nil)
+		checkOutputs(t, outputs, inputs, 4)
+	}
+}
+
+func TestIdenticalInputsExact(t *testing.T) {
+	const n, tc = 4, 1
+	inputs := make([]*big.Int, n)
+	for i := range inputs {
+		inputs[i] = big.NewInt(777777)
+	}
+	outputs := runCampaign(t, n, tc, inputs, 1<<20, 1, nil, nil)
+	for id, v := range outputs {
+		if v.Int64() != 777777 {
+			t.Errorf("party %d drifted to %v", id, v)
+		}
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	bad := []struct {
+		name          string
+		input, d, eps *big.Int
+	}{
+		{"nil-input", nil, big.NewInt(1), big.NewInt(1)},
+		{"neg-input", big.NewInt(-1), big.NewInt(1), big.NewInt(1)},
+		{"zero-eps", big.NewInt(1), big.NewInt(1), big.NewInt(0)},
+		{"neg-diameter", big.NewInt(1), big.NewInt(-1), big.NewInt(1)},
+	}
+	for _, tc := range bad {
+		tc := tc
+		parties := []asyncnet.Party{{Behavior: func(net *asyncnet.Net, id asyncnet.PartyID) error {
+			_, err := asyncaa.Run(net, id, tc.input, tc.d, tc.eps)
+			if err == nil {
+				return fmt.Errorf("%s accepted", tc.name)
+			}
+			return nil
+		}}}
+		if _, err := asyncnet.Run(asyncnet.Config{N: 1, T: 0}, parties); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}

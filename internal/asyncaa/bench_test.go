@@ -1,0 +1,34 @@
+package asyncaa_test
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"convexagreement/internal/asyncaa"
+	"convexagreement/internal/asyncnet"
+)
+
+func BenchmarkAsyncAA_n7_eps16(b *testing.B) {
+	const n, tc = 7, 2
+	rng := rand.New(rand.NewSource(2))
+	inputs := make([]*big.Int, n)
+	for i := range inputs {
+		inputs[i] = big.NewInt(rng.Int63n(1 << 16))
+	}
+	d, eps := big.NewInt(1<<16), big.NewInt(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parties := make([]asyncnet.Party, n)
+		for p := 0; p < n; p++ {
+			input := inputs[p]
+			parties[p] = asyncnet.Party{Behavior: func(net *asyncnet.Net, id asyncnet.PartyID) error {
+				_, err := asyncaa.Run(net, id, input, d, eps)
+				return err
+			}}
+		}
+		if _, err := asyncnet.Run(asyncnet.Config{N: n, T: tc, Seed: int64(i)}, parties); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

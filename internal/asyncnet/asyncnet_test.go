@@ -1,0 +1,237 @@
+package asyncnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// honest wraps a behavior as an honest Party.
+func honest(b Behavior) Party { return Party{Behavior: b} }
+
+func TestAllMessagesEventuallyDelivered(t *testing.T) {
+	// Every party sends one message to every other and receives n-1.
+	const n = 5
+	var mu sync.Mutex
+	got := make(map[PartyID][]PartyID)
+	parties := make([]Party, n)
+	for i := 0; i < n; i++ {
+		parties[i] = honest(func(net *Net, id PartyID) error {
+			for to := 0; to < n; to++ {
+				if PartyID(to) != id {
+					net.Send(id, PartyID(to), []byte{byte(id)})
+				}
+			}
+			for k := 0; k < n-1; k++ {
+				msg, err := net.Recv(id)
+				if err != nil {
+					return err
+				}
+				if len(msg.Payload) != 1 || PartyID(msg.Payload[0]) != msg.From {
+					return fmt.Errorf("spoofed or corrupt message %v", msg)
+				}
+				mu.Lock()
+				got[id] = append(got[id], msg.From)
+				mu.Unlock()
+			}
+			return nil
+		})
+	}
+	if _, err := Run(Config{N: n, T: 1, Seed: 42}, parties); err != nil {
+		t.Fatal(err)
+	}
+	for id, froms := range got {
+		if len(froms) != n-1 {
+			t.Errorf("party %d got %d messages", id, len(froms))
+		}
+	}
+}
+
+func TestSchedulersProduceDifferentButCompleteOrders(t *testing.T) {
+	const n = 4
+	run := func(s Scheduler) []PartyID {
+		var order []PartyID
+		var mu sync.Mutex
+		parties := make([]Party, n)
+		// Party 0 receives 3 messages from the others.
+		parties[0] = honest(func(net *Net, id PartyID) error {
+			for k := 0; k < 3; k++ {
+				msg, err := net.Recv(id)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				order = append(order, msg.From)
+				mu.Unlock()
+			}
+			return nil
+		})
+		for i := 1; i < n; i++ {
+			parties[i] = honest(func(net *Net, id PartyID) error {
+				net.Send(id, 0, []byte{byte(id)})
+				return nil
+			})
+		}
+		if _, err := Run(Config{N: n, T: 1, Scheduler: s}, parties); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	for _, s := range []Scheduler{NewRandomScheduler(7), NewDelayScheduler(7, 1), LIFOScheduler{}} {
+		order := run(s)
+		if len(order) != 3 {
+			t.Fatalf("%T: %d deliveries", s, len(order))
+		}
+	}
+	// The delay scheduler must deliver the victim's message last.
+	order := run(NewDelayScheduler(1, 1))
+	if order[2] != 1 {
+		t.Errorf("delay scheduler delivered victim at position %v", order)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	parties := []Party{honest(func(net *Net, id PartyID) error {
+		_, err := net.Recv(id) // nobody will ever send
+		return err
+	})}
+	_, err := Run(Config{N: 1, T: 0}, parties)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Errorf("err = %v, want deadlock", err)
+	}
+}
+
+func TestDeliveryBudget(t *testing.T) {
+	// Two parties ping-pong forever; the budget must stop the run.
+	parties := make([]Party, 2)
+	for i := 0; i < 2; i++ {
+		parties[i] = honest(func(net *Net, id PartyID) error {
+			if id == 0 {
+				net.Send(0, 1, []byte{0})
+			}
+			for {
+				msg, err := net.Recv(id)
+				if err != nil {
+					return err
+				}
+				net.Send(id, msg.From, msg.Payload)
+			}
+		})
+	}
+	_, err := Run(Config{N: 2, T: 0, MaxDeliveries: 100}, parties)
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want budget", err)
+	}
+}
+
+func TestFinishedPartyStopsReceiving(t *testing.T) {
+	// Party 1 exits immediately; party 0's sends to it must not wedge the
+	// run, and party 0 can still finish.
+	parties := []Party{
+		honest(func(net *Net, id PartyID) error {
+			net.Send(id, 1, []byte{1})
+			net.Send(id, 0, []byte{2}) // self message keeps us receivable
+			_, err := net.Recv(id)
+			return err
+		}),
+		honest(func(net *Net, id PartyID) error { return nil }),
+	}
+	if _, err := Run(Config{N: 2, T: 0}, parties); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptLoopReleasedWhenHonestFinish(t *testing.T) {
+	// The corrupt party receives forever; once the honest party finishes,
+	// it must be released with ErrHalted and the run must succeed.
+	var corruptErr error
+	parties := []Party{
+		honest(func(net *Net, id PartyID) error {
+			net.Send(id, 0, []byte{7})
+			_, err := net.Recv(id)
+			return err
+		}),
+		{Corrupt: true, Behavior: func(net *Net, id PartyID) error {
+			for {
+				if _, err := net.Recv(id); err != nil {
+					corruptErr = err
+					return err
+				}
+			}
+		}},
+	}
+	if _, err := Run(Config{N: 2, T: 1}, parties); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(corruptErr, ErrHalted) {
+		t.Errorf("corrupt exit = %v, want ErrHalted", corruptErr)
+	}
+}
+
+func TestPanicContained(t *testing.T) {
+	parties := []Party{
+		honest(func(net *Net, id PartyID) error { panic("boom") }),
+		honest(func(net *Net, id PartyID) error {
+			net.Send(id, id, []byte{1})
+			_, err := net.Recv(id)
+			return err
+		}),
+	}
+	errs, err := Run(Config{N: 2, T: 0}, parties)
+	if err == nil {
+		t.Fatal("panic not surfaced")
+	}
+	if errs[0] == nil {
+		t.Error("party 0 error missing")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{N: 0}, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Run(Config{N: 2}, make([]Party, 1)); err == nil {
+		t.Error("party count mismatch accepted")
+	}
+	allCorrupt := []Party{{Corrupt: true, Behavior: func(*Net, PartyID) error { return nil }}}
+	if _, err := Run(Config{N: 1}, allCorrupt); err == nil {
+		t.Error("all-corrupt accepted")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() []PartyID {
+		var order []PartyID
+		var mu sync.Mutex
+		const n = 5
+		parties := make([]Party, n)
+		parties[0] = honest(func(net *Net, id PartyID) error {
+			for k := 0; k < (n-1)*2; k++ {
+				msg, err := net.Recv(id)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				order = append(order, msg.From)
+				mu.Unlock()
+			}
+			return nil
+		})
+		for i := 1; i < n; i++ {
+			parties[i] = honest(func(net *Net, id PartyID) error {
+				net.Send(id, 0, []byte{1})
+				net.Send(id, 0, []byte{2})
+				return nil
+			})
+		}
+		if _, err := Run(Config{N: n, T: 1, Seed: 99}, parties); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("orders differ across identical seeded runs: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,214 @@
+package ba_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"convexagreement/internal/adversary"
+	"convexagreement/internal/ba"
+	"convexagreement/internal/sim"
+	"convexagreement/internal/testutil"
+)
+
+// runBinary runs Binary with the given per-party inputs; corrupt parties are
+// driven by the strategy. inputs[i] is ignored for corrupt parties.
+func runBinary(t *testing.T, n, tcount int, inputs []byte, corrupt map[int]sim.Behavior) (*testutil.Result[byte], byte) {
+	t.Helper()
+	res, err := testutil.Run(sim.Config{N: n, T: tcount}, corrupt,
+		func(env *sim.Env) (byte, error) {
+			return ba.Binary(env, "ba", inputs[env.ID()])
+		})
+	if err != nil {
+		t.Fatalf("n=%d t=%d: %v", n, tcount, err)
+	}
+	out, err := testutil.AgreeValue(res)
+	if err != nil {
+		t.Fatalf("agreement violated: %v", err)
+	}
+	return res, out
+}
+
+func TestBinaryValidityAllHonest(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7, 10} {
+		tc := (n - 1) / 3
+		for _, b := range []byte{0, 1} {
+			inputs := bytes.Repeat([]byte{b}, n)
+			_, out := runBinary(t, n, tc, inputs, nil)
+			if out != b {
+				t.Errorf("n=%d: validity violated: all input %d, output %d", n, b, out)
+			}
+		}
+	}
+}
+
+func TestBinaryAgreementMixedInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(8)
+		tc := (n - 1) / 3
+		inputs := make([]byte, n)
+		for i := range inputs {
+			inputs[i] = byte(rng.Intn(2))
+		}
+		_, out := runBinary(t, n, tc, inputs, nil)
+		if out > 1 {
+			t.Errorf("output %d not a bit", out)
+		}
+	}
+}
+
+func TestBinaryUnderAdversaries(t *testing.T) {
+	for _, strat := range adversary.Catalog() {
+		strat := strat
+		t.Run(strat.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			for trial := 0; trial < 6; trial++ {
+				n := 4 + rng.Intn(9)
+				tc := (n - 1) / 3
+				if tc == 0 {
+					continue
+				}
+				corrupt := make(map[int]sim.Behavior, tc)
+				for len(corrupt) < tc {
+					corrupt[rng.Intn(n)] = strat.Build(int64(trial))
+				}
+				inputs := make([]byte, n)
+				pre := rng.Intn(2) == 0 // sometimes test the pre-agreement case
+				for i := range inputs {
+					if pre {
+						inputs[i] = 1
+					} else {
+						inputs[i] = byte(rng.Intn(2))
+					}
+				}
+				_, out := runBinary(t, n, tc, inputs, corrupt)
+				if pre && out != 1 {
+					t.Errorf("n=%d %s: validity violated under adversary", n, strat.Name)
+				}
+			}
+		})
+	}
+}
+
+func TestBinaryRejectsBadInput(t *testing.T) {
+	_, err := testutil.Run(sim.Config{N: 1, T: 0}, nil, func(env *sim.Env) (byte, error) {
+		return ba.Binary(env, "ba", 7)
+	})
+	if err == nil {
+		t.Error("input 7 accepted")
+	}
+}
+
+func TestBinaryRoundCount(t *testing.T) {
+	n, tc := 7, 2
+	inputs := make([]byte, n)
+	res, _ := runBinary(t, n, tc, inputs, nil)
+	if res.Report.Rounds != ba.BinaryRounds(tc) {
+		t.Errorf("rounds = %d, want %d", res.Report.Rounds, ba.BinaryRounds(tc))
+	}
+}
+
+type mvOut struct {
+	val string
+	ok  bool
+}
+
+func runMultivalued(t *testing.T, n, tc int, inputs [][]byte, corrupt map[int]sim.Behavior) (*testutil.Result[mvOut], mvOut) {
+	t.Helper()
+	res, err := testutil.Run(sim.Config{N: n, T: tc}, corrupt,
+		func(env *sim.Env) (mvOut, error) {
+			v, ok, err := ba.Multivalued(env, "mv", inputs[env.ID()])
+			return mvOut{val: string(v), ok: ok}, err
+		})
+	if err != nil {
+		t.Fatalf("n=%d t=%d: %v", n, tc, err)
+	}
+	out, err := testutil.AgreeValue(res)
+	if err != nil {
+		t.Fatalf("agreement violated: %v", err)
+	}
+	return res, out
+}
+
+func TestMultivaluedValidity(t *testing.T) {
+	for _, n := range []int{1, 4, 7, 9} {
+		tc := (n - 1) / 3
+		for _, val := range []string{"", "x", "a-much-longer-shared-input-value-0123456789"} {
+			inputs := make([][]byte, n)
+			for i := range inputs {
+				inputs[i] = []byte(val)
+			}
+			_, out := runMultivalued(t, n, tc, inputs, nil)
+			if !out.ok || out.val != val {
+				t.Errorf("n=%d: validity violated for %q: got (%q,%v)", n, val, out.val, out.ok)
+			}
+		}
+	}
+}
+
+func TestMultivaluedMixedInputsIntrusionSafe(t *testing.T) {
+	// With honest-only mixed inputs, any ok=true output must be one of the
+	// honest inputs (a structural property of Turpin–Coan at t < n/3).
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(7)
+		tc := (n - 1) / 3
+		inputs := make([][]byte, n)
+		inputSet := make(map[string]bool)
+		for i := range inputs {
+			inputs[i] = []byte(fmt.Sprintf("val-%d", rng.Intn(3)))
+			inputSet[string(inputs[i])] = true
+		}
+		_, out := runMultivalued(t, n, tc, inputs, nil)
+		if out.ok && !inputSet[out.val] {
+			t.Errorf("output %q is no party's input", out.val)
+		}
+	}
+}
+
+func TestMultivaluedUnderAdversaries(t *testing.T) {
+	for _, strat := range adversary.Catalog() {
+		strat := strat
+		t.Run(strat.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(31))
+			for trial := 0; trial < 4; trial++ {
+				n := 7 + rng.Intn(6)
+				tc := (n - 1) / 3
+				corrupt := make(map[int]sim.Behavior, tc)
+				for len(corrupt) < tc {
+					corrupt[rng.Intn(n)] = strat.Build(int64(trial) + 100)
+				}
+				inputs := make([][]byte, n)
+				honestSet := make(map[string]bool)
+				for i := range inputs {
+					inputs[i] = []byte(fmt.Sprintf("w%d", rng.Intn(2)))
+					if _, bad := corrupt[i]; !bad {
+						honestSet[string(inputs[i])] = true
+					}
+				}
+				_, out := runMultivalued(t, n, tc, inputs, corrupt)
+				if out.ok && !honestSet[out.val] {
+					t.Errorf("%s: intruded value %q agreed", strat.Name, out.val)
+				}
+			}
+		})
+	}
+}
+
+func TestMultivaluedPreAgreementUnderAdversary(t *testing.T) {
+	// All honest share one value; every adversary must fail to displace it.
+	for _, strat := range adversary.Catalog() {
+		n, tc := 10, 3
+		corrupt := map[int]sim.Behavior{1: strat.Build(9), 4: strat.Build(10), 8: strat.Build(11)}
+		inputs := make([][]byte, n)
+		for i := range inputs {
+			inputs[i] = []byte("the-agreed-value")
+		}
+		_, out := runMultivalued(t, n, tc, inputs, corrupt)
+		if !out.ok || out.val != "the-agreed-value" {
+			t.Errorf("%s: pre-agreement broken: (%q,%v)", strat.Name, out.val, out.ok)
+		}
+	}
+}

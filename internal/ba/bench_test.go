@@ -1,0 +1,37 @@
+package ba_test
+
+import (
+	"testing"
+
+	"convexagreement/internal/ba"
+	"convexagreement/internal/sim"
+	"convexagreement/internal/testutil"
+)
+
+func BenchmarkBinary_n7(b *testing.B) {
+	const n, tc = 7, 2
+	for i := 0; i < b.N; i++ {
+		_, err := testutil.Run(sim.Config{N: n, T: tc}, nil,
+			func(env *sim.Env) (byte, error) {
+				return ba.Binary(env, "b", byte(int(env.ID())%2))
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultivalued_n7_32B(b *testing.B) {
+	const n, tc = 7, 2
+	value := make([]byte, 32)
+	for i := 0; i < b.N; i++ {
+		_, err := testutil.Run(sim.Config{N: n, T: tc}, nil,
+			func(env *sim.Env) (bool, error) {
+				_, ok, err := ba.Multivalued(env, "mv", value)
+				return ok, err
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package ba_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"convexagreement/internal/adversary"
+	"convexagreement/internal/ba"
+	"convexagreement/internal/sim"
+	"convexagreement/internal/testutil"
+)
+
+// TestBinaryPropertyRandomized drives phase-king through testing/quick:
+// random n, corruption placement, strategy mix, and inputs — Agreement must
+// always hold and Validity must hold whenever honest inputs pre-agree.
+func TestBinaryPropertyRandomized(t *testing.T) {
+	strategies := adversary.Catalog()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(9)
+		tc := (n - 1) / 3
+		numCorrupt := rng.Intn(tc + 1)
+		corrupt := map[int]sim.Behavior{}
+		for len(corrupt) < numCorrupt {
+			corrupt[rng.Intn(n)] = strategies[rng.Intn(len(strategies))].Build(rng.Int63())
+		}
+		inputs := make([]byte, n)
+		pre := rng.Intn(2) == 0
+		preBit := byte(rng.Intn(2))
+		for i := range inputs {
+			if pre {
+				inputs[i] = preBit
+			} else {
+				inputs[i] = byte(rng.Intn(2))
+			}
+		}
+		res, err := testutil.Run(sim.Config{N: n, T: tc}, corrupt,
+			func(env *sim.Env) (byte, error) {
+				return ba.Binary(env, "ba", inputs[env.ID()])
+			})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		out, err := testutil.AgreeValue(res)
+		if err != nil {
+			t.Logf("seed %d: agreement violated: %v", seed, err)
+			return false
+		}
+		if out > 1 {
+			return false
+		}
+		if pre && out != preBit {
+			t.Logf("seed %d: validity violated (%d vs %d)", seed, out, preBit)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

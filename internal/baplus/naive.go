@@ -1,0 +1,75 @@
+package baplus
+
+import (
+	"bytes"
+
+	"convexagreement/internal/hashing"
+	"convexagreement/internal/transport"
+)
+
+// LongNaive is the ablation of Long: identical agreement logic (Π_BA+ on
+// the value's hash) but the dispersal replaces Reed-Solomon coding and
+// Merkle witnesses with the naive scheme prior works used — every holder
+// of the agreed value broadcasts it whole. That costs Θ(ℓn²) bits whenever
+// many parties hold the value, instead of Long's O(ℓn + κn²·log n).
+//
+// It exists purely for experiment E16, which isolates how much of the
+// paper's saving comes from the coded dispersal: run FINDPREFIX on top of
+// LongNaive and the headline O(ℓn) term degrades to O(ℓn²).
+//
+// Guarantees are the same as Long's (BA + Intrusion Tolerance + Bounded
+// Pre-Agreement); only the cost differs.
+func LongNaive(env transport.Net, tag string, input []byte) ([]byte, bool, error) {
+	digest := hashing.Sum(input)
+	zStarRaw, ok, err := Plus(env, tag+"/root", digest[:])
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	zStar, wellFormed := hashing.FromBytes(zStarRaw)
+	if !wellFormed {
+		return nil, false, ErrDispersal
+	}
+	// Naive dispersal, round A: holders broadcast the full value.
+	var out []transport.Packet
+	if zStar == digest {
+		out = transport.Broadcast(env, tag+"/naiveout", input)
+	}
+	in, err := env.Exchange(out)
+	if err != nil {
+		return nil, false, err
+	}
+	var value []byte
+	have := false
+	for _, m := range in {
+		if hashing.Sum(m.Payload) == zStar {
+			value = m.Payload
+			have = true
+			break
+		}
+	}
+	// Round B: re-broadcast so parties the byzantine holders skipped still
+	// receive it (the naive totality step — another full ℓn² of traffic).
+	out = nil
+	if have {
+		out = transport.Broadcast(env, tag+"/naiverelay", value)
+	}
+	in, err = env.Exchange(out)
+	if err != nil {
+		return nil, false, err
+	}
+	if !have {
+		for _, m := range in {
+			if hashing.Sum(m.Payload) == zStar {
+				value = m.Payload
+				have = true
+				break
+			}
+		}
+	}
+	if !have {
+		// Unreachable under Intrusion Tolerance + collision resistance:
+		// the agreed digest belongs to an honest holder who broadcast.
+		return nil, false, ErrDispersal
+	}
+	return bytes.Clone(value), true, nil
+}

@@ -1,0 +1,79 @@
+// Package bc implements synchronous Byzantine Broadcast (BC) for long
+// messages — the primitive the paper's introduction uses as the strawman
+// route to CA ("each party sends its input value via BC"), built in the
+// extension-protocol style of the works it cites ([8], [41], [11], [28]):
+// one dissemination round followed by Π_ℓBA+ on the received value, so a
+// single ℓ-bit broadcast costs O(ℓn + κ·n²·log n) bits instead of the
+// naive Θ(ℓn²).
+//
+// For n > 3t each instance guarantees:
+//
+//   - Validity: if the sender is honest, every honest party outputs the
+//     sender's value (ok = true).
+//   - Agreement: all honest parties output the same (value, ok) — a
+//     byzantine sender can force ok = false or a value of its choice, but
+//     never disagreement.
+//   - Termination: every honest party outputs after a bounded number of
+//     rounds.
+package bc
+
+import (
+	"convexagreement/internal/baplus"
+	"convexagreement/internal/transport"
+	"convexagreement/internal/wire"
+)
+
+// Broadcast runs one BC instance. All honest parties must call it in the
+// same round with the same tag and sender; value is the payload and is
+// consulted only by the sender itself. The return is (value, true) when
+// the broadcast delivered, (nil, false) when the (necessarily byzantine)
+// sender failed to get any single value across.
+func Broadcast(env transport.Net, tag string, sender transport.PartyID, value []byte) ([]byte, bool, error) {
+	var out []transport.Packet
+	if env.ID() == sender {
+		out = transport.Broadcast(env, tag+"/bc-send", framePresent(value))
+	}
+	in, err := env.Exchange(out)
+	if err != nil {
+		return nil, false, err
+	}
+	frame := frameAbsent()
+	for _, m := range in {
+		if m.From == sender {
+			frame = m.Payload
+			break
+		}
+	}
+	// Π_ℓBA+ turns the (possibly equivocated) per-party views into one
+	// agreed frame: an honest sender hits Validity, a byzantine one hits
+	// Agreement; Intrusion Tolerance keeps the result a frame some honest
+	// party actually received.
+	agreed, ok, err := baplus.Long(env, tag+"/bc-agree", frame)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	v, present := unframe(agreed)
+	if !present {
+		return nil, false, nil
+	}
+	return v, true, nil
+}
+
+// framePresent marks a received value: 0x01 || value.
+func framePresent(v []byte) []byte {
+	w := wire.NewWriter(1 + len(v))
+	w.Byte(1)
+	w.Raw(v)
+	return w.Finish()
+}
+
+// frameAbsent marks "nothing received from the sender".
+func frameAbsent() []byte { return []byte{0} }
+
+// unframe splits a frame; present=false for the absent marker or garbage.
+func unframe(raw []byte) ([]byte, bool) {
+	if len(raw) < 1 || raw[0] != 1 {
+		return nil, false
+	}
+	return raw[1:], true
+}

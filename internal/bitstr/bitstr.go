@@ -1,0 +1,350 @@
+// Package bitstr implements the exact-width binary representations of
+// Section 2 of the paper ("Binary representations"): BITS_ℓ(v), VAL(BITS),
+// MIN_ℓ(BITS), MAX_ℓ(BITS), prefix tests, bit- and block-range extraction,
+// and concatenation.
+//
+// A String is a sequence of bits stored MSB-first. Bit indices in this
+// package are 0-based (the paper uses 1-based indices; call sites translate).
+// Strings are value types: all operations return fresh storage and never
+// alias the receiver's backing array, so a String can be shared freely
+// between goroutines once constructed.
+package bitstr
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// String is an immutable bitstring of arbitrary length, packed MSB-first.
+// The zero value is the empty bitstring.
+type String struct {
+	data []byte // ceil(n/8) bytes; bit i lives at data[i/8] bit (7 - i%8)
+	n    int    // length in bits
+}
+
+// Errors returned by constructors and codecs in this package.
+var (
+	ErrNegative = errors.New("bitstr: negative value has no binary representation")
+	ErrOverflow = errors.New("bitstr: value does not fit in the requested width")
+	ErrRange    = errors.New("bitstr: bit range out of bounds")
+	ErrCorrupt  = errors.New("bitstr: corrupt encoding")
+)
+
+// New returns the all-zero bitstring of n bits. n must be non-negative.
+func New(n int) (String, error) {
+	if n < 0 {
+		return String{}, fmt.Errorf("bitstr: negative length %d", n)
+	}
+	return String{data: make([]byte, (n+7)/8), n: n}, nil
+}
+
+// FromBig returns BITS_ℓ(v): the width-bit representation of v, left-padded
+// with zeroes. It fails if v is negative or does not fit in width bits.
+func FromBig(v *big.Int, width int) (String, error) {
+	if v.Sign() < 0 {
+		return String{}, ErrNegative
+	}
+	if width < 0 {
+		return String{}, fmt.Errorf("bitstr: negative width %d", width)
+	}
+	if v.BitLen() > width {
+		return String{}, fmt.Errorf("%w: %d bits into width %d", ErrOverflow, v.BitLen(), width)
+	}
+	s := String{data: make([]byte, (width+7)/8), n: width}
+	raw := v.Bytes() // big-endian, minimal
+	// Right-align raw into the bit width: the value occupies the lowest
+	// v.BitLen() bits, i.e. the rightmost bits of the string.
+	for i, b := range raw {
+		// Byte raw[i] covers value bits [8*(len(raw)-i)-8, 8*(len(raw)-i)).
+		shift := uint(8 * (len(raw) - 1 - i))
+		for k := 0; k < 8; k++ {
+			if b>>(7-k)&1 == 1 {
+				// Bit position from the right end of the value.
+				fromRight := int(shift) + (7 - k)
+				s.setBit(width-1-fromRight, 1)
+			}
+		}
+	}
+	return s, nil
+}
+
+// MustFromBig is FromBig for statically-known-safe arguments; it panics on
+// error and exists only for tests and examples.
+func MustFromBig(v *big.Int, width int) String {
+	s, err := FromBig(v, width)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// FromBits builds a String from a slice of 0/1 values, MSB first.
+func FromBits(bits []byte) (String, error) {
+	s := String{data: make([]byte, (len(bits)+7)/8), n: len(bits)}
+	for i, b := range bits {
+		switch b {
+		case 0:
+		case 1:
+			s.setBit(i, 1)
+		default:
+			return String{}, fmt.Errorf("bitstr: bit %d has non-binary value %d", i, b)
+		}
+	}
+	return s, nil
+}
+
+// Parse builds a String from a textual form such as "0110". The empty string
+// parses to the empty bitstring.
+func Parse(text string) (String, error) {
+	bits := make([]byte, len(text))
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '0':
+			bits[i] = 0
+		case '1':
+			bits[i] = 1
+		default:
+			return String{}, fmt.Errorf("bitstr: invalid character %q at %d", text[i], i)
+		}
+	}
+	return FromBits(bits)
+}
+
+// MustParse is Parse that panics on error; for tests and examples only.
+func MustParse(text string) String {
+	s, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *String) setBit(i int, b byte) {
+	if b == 1 {
+		s.data[i/8] |= 1 << uint(7-i%8)
+	} else {
+		s.data[i/8] &^= 1 << uint(7-i%8)
+	}
+}
+
+// Len returns the length of the bitstring in bits (the paper's |BITS|).
+func (s String) Len() int { return s.n }
+
+// Bit returns the bit at 0-based position i (the paper's B_{i+1}).
+func (s String) Bit(i int) byte {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitstr: bit index %d out of range [0,%d)", i, s.n))
+	}
+	return s.data[i/8] >> uint(7-i%8) & 1
+}
+
+// Big returns VAL(BITS): the natural number whose binary representation the
+// string is. The empty string has value 0.
+func (s String) Big() *big.Int {
+	v := new(big.Int)
+	for i := 0; i < s.n; i++ {
+		if s.Bit(i) == 1 {
+			v.SetBit(v, s.n-1-i, 1)
+		}
+	}
+	return v
+}
+
+// Slice returns the substring of bits [lo, hi) (0-based, half-open).
+func (s String) Slice(lo, hi int) (String, error) {
+	if lo < 0 || hi < lo || hi > s.n {
+		return String{}, fmt.Errorf("%w: [%d,%d) of %d", ErrRange, lo, hi, s.n)
+	}
+	out := String{data: make([]byte, (hi-lo+7)/8), n: hi - lo}
+	for i := lo; i < hi; i++ {
+		if s.Bit(i) == 1 {
+			out.setBit(i-lo, 1)
+		}
+	}
+	return out, nil
+}
+
+// Prefix returns the first k bits of s.
+func (s String) Prefix(k int) (String, error) { return s.Slice(0, k) }
+
+// Concat returns s followed by t.
+func (s String) Concat(t String) String {
+	out := String{data: make([]byte, (s.n+t.n+7)/8), n: s.n + t.n}
+	copy(out.data, s.data)
+	if s.n%8 == 0 {
+		copy(out.data[s.n/8:], t.data)
+		return out
+	}
+	for i := 0; i < t.n; i++ {
+		if t.Bit(i) == 1 {
+			out.setBit(s.n+i, 1)
+		}
+	}
+	return out
+}
+
+// AppendBit returns s with one extra bit b (0 or 1) appended.
+func (s String) AppendBit(b byte) (String, error) {
+	t, err := FromBits([]byte{b})
+	if err != nil {
+		return String{}, err
+	}
+	return s.Concat(t), nil
+}
+
+// Equal reports whether s and t are the same bitstring (same length, same
+// bits).
+func (s String) Equal(t String) bool {
+	if s.n != t.n {
+		return false
+	}
+	full := s.n / 8
+	for i := 0; i < full; i++ {
+		if s.data[i] != t.data[i] {
+			return false
+		}
+	}
+	for i := full * 8; i < s.n; i++ {
+		if s.Bit(i) != t.Bit(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPrefix reports whether p is a prefix of s.
+func (s String) HasPrefix(p String) bool {
+	if p.n > s.n {
+		return false
+	}
+	head, err := s.Prefix(p.n)
+	if err != nil {
+		return false
+	}
+	return head.Equal(p)
+}
+
+// Compare compares two equal-length bitstrings as the naturals they
+// represent; it returns -1, 0, or +1. It panics if the lengths differ
+// (callers in this codebase always compare like-for-like widths).
+func (s String) Compare(t String) int {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitstr: comparing lengths %d and %d", s.n, t.n))
+	}
+	for i := 0; i < s.n; i++ {
+		a, b := s.Bit(i), t.Bit(i)
+		if a != b {
+			if a < b {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// MinFill returns MIN_ℓ(BITS): the smallest width-bit value having s as a
+// prefix (s padded on the right with zeroes). It fails if width < s.Len().
+func (s String) MinFill(width int) (*big.Int, error) {
+	if width < s.n {
+		return nil, fmt.Errorf("%w: width %d < length %d", ErrRange, width, s.n)
+	}
+	v := s.Big()
+	return v.Lsh(v, uint(width-s.n)), nil
+}
+
+// MaxFill returns MAX_ℓ(BITS): the largest width-bit value having s as a
+// prefix (s padded on the right with ones). It fails if width < s.Len().
+func (s String) MaxFill(width int) (*big.Int, error) {
+	if width < s.n {
+		return nil, fmt.Errorf("%w: width %d < length %d", ErrRange, width, s.n)
+	}
+	v := s.Big()
+	v.Lsh(v, uint(width-s.n))
+	pad := new(big.Int).Lsh(big.NewInt(1), uint(width-s.n))
+	pad.Sub(pad, big.NewInt(1))
+	return v.Or(v, pad), nil
+}
+
+// FillTo returns s extended to width bits by appending copies of bit b: the
+// bitstring form of MIN_ℓ (b=0) or MAX_ℓ (b=1).
+func (s String) FillTo(width int, b byte) (String, error) {
+	if b > 1 {
+		return String{}, fmt.Errorf("bitstr: non-binary fill bit %d", b)
+	}
+	if width < s.n {
+		return String{}, fmt.Errorf("%w: width %d < length %d", ErrRange, width, s.n)
+	}
+	pad := make([]byte, width-s.n)
+	for i := range pad {
+		pad[i] = b
+	}
+	tail, err := FromBits(pad)
+	if err != nil {
+		return String{}, err
+	}
+	return s.Concat(tail), nil
+}
+
+// String renders the bitstring as text, e.g. "0101".
+func (s String) String() string {
+	var b strings.Builder
+	b.Grow(s.n)
+	for i := 0; i < s.n; i++ {
+		b.WriteByte('0' + s.Bit(i))
+	}
+	return b.String()
+}
+
+// Marshal encodes the bitstring for the wire: 4-byte big-endian bit length
+// followed by the packed bytes.
+func (s String) Marshal() []byte {
+	out := make([]byte, 4+len(s.data))
+	out[0] = byte(s.n >> 24)
+	out[1] = byte(s.n >> 16)
+	out[2] = byte(s.n >> 8)
+	out[3] = byte(s.n)
+	copy(out[4:], s.data)
+	return out
+}
+
+// Unmarshal decodes a bitstring produced by Marshal. It rejects malformed
+// input (wrong byte count, nonzero padding bits) so that byzantine payloads
+// can never yield an inconsistent String.
+func Unmarshal(raw []byte) (String, error) {
+	if len(raw) < 4 {
+		return String{}, ErrCorrupt
+	}
+	n := int(raw[0])<<24 | int(raw[1])<<16 | int(raw[2])<<8 | int(raw[3])
+	if n < 0 {
+		return String{}, ErrCorrupt
+	}
+	body := raw[4:]
+	if len(body) != (n+7)/8 {
+		return String{}, ErrCorrupt
+	}
+	s := String{data: make([]byte, len(body)), n: n}
+	copy(s.data, body)
+	// Reject nonzero bits in the final partial byte so equal strings have
+	// equal encodings.
+	for i := n; i < 8*len(body); i++ {
+		if s.data[i/8]>>uint(7-i%8)&1 == 1 {
+			return String{}, ErrCorrupt
+		}
+	}
+	return s, nil
+}
+
+// MarshalSize returns the encoded size in bytes of a bitstring of n bits.
+func MarshalSize(n int) int { return 4 + (n+7)/8 }
+
+// NatBitLen returns the paper's |BITS(v)| for v ∈ ℕ: the length of the
+// minimal binary representation, with |BITS(0)| defined as 1.
+func NatBitLen(v *big.Int) int {
+	if v.Sign() == 0 {
+		return 1
+	}
+	return v.BitLen()
+}

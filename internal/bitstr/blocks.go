@@ -1,0 +1,34 @@
+package bitstr
+
+import "fmt"
+
+// Blocks implements the block decomposition of Section 4 of the paper: an
+// ℓ-bit string is split into numBlocks blocks of ℓ/numBlocks bits each
+// (ℓ must be a multiple of numBlocks).
+func (s String) Blocks(numBlocks int) ([]String, error) {
+	if numBlocks <= 0 {
+		return nil, fmt.Errorf("bitstr: non-positive block count %d", numBlocks)
+	}
+	if s.n%numBlocks != 0 {
+		return nil, fmt.Errorf("bitstr: length %d is not a multiple of %d blocks", s.n, numBlocks)
+	}
+	size := s.n / numBlocks
+	out := make([]String, numBlocks)
+	for i := range out {
+		blk, err := s.Slice(i*size, (i+1)*size)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = blk
+	}
+	return out, nil
+}
+
+// BlockRange returns blocks [lo, hi) (0-based, half-open) of s under a
+// decomposition into blocks of blockBits bits, concatenated into one string.
+func (s String) BlockRange(lo, hi, blockBits int) (String, error) {
+	if blockBits <= 0 {
+		return String{}, fmt.Errorf("bitstr: non-positive block size %d", blockBits)
+	}
+	return s.Slice(lo*blockBits, hi*blockBits)
+}

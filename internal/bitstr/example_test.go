@@ -1,0 +1,26 @@
+package bitstr_test
+
+import (
+	"fmt"
+	"math/big"
+
+	"convexagreement/internal/bitstr"
+)
+
+// The §2 toolkit: BITS_ℓ(v), a prefix, and its MIN/MAX fills — the values
+// GETOUTPUT chooses between.
+func ExampleFromBig() {
+	v := big.NewInt(0b101101)
+	s, err := bitstr.FromBig(v, 8) // BITS_8(45) = 00101101
+	if err != nil {
+		panic(err)
+	}
+	prefix, err := s.Prefix(4) // 0010
+	if err != nil {
+		panic(err)
+	}
+	min, _ := prefix.MinFill(8) // MIN_8(0010) = 00100000
+	max, _ := prefix.MaxFill(8) // MAX_8(0010) = 00101111
+	fmt.Println(s, prefix, min, max)
+	// Output: 00101101 0010 32 47
+}

@@ -1,0 +1,44 @@
+package bitstr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal: arbitrary bytes either fail cleanly or decode to a string
+// whose re-encoding is byte-identical (canonical form).
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(MustParse("10110").Marshal())
+	f.Add([]byte{0, 0, 0, 9, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := Unmarshal(raw)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(s.Marshal(), raw) {
+			t.Fatalf("non-canonical decode: %q from %v", s.String(), raw)
+		}
+		// Exercise the algebra on whatever decoded.
+		if s.Len() > 0 {
+			half, err := s.Prefix(s.Len() / 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.HasPrefix(half) {
+				t.Fatal("prefix not a prefix")
+			}
+			min, err := half.MinFill(s.Len())
+			if err != nil {
+				t.Fatal(err)
+			}
+			max, err := half.MaxFill(s.Len())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if min.Cmp(max) > 0 {
+				t.Fatalf("MIN %v > MAX %v", min, max)
+			}
+		}
+	})
+}

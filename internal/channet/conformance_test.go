@@ -1,0 +1,22 @@
+package channet_test
+
+import (
+	"testing"
+
+	"convexagreement/internal/channet"
+	"convexagreement/internal/transport"
+	"convexagreement/internal/transporttest"
+)
+
+func TestConformance(t *testing.T) {
+	transporttest.Conformance(t, func(t *testing.T, n, tc int, fns []func(net transport.Net) error) {
+		t.Helper()
+		hub, err := channet.NewHub(n, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hub.Run(fns); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"convexagreement/internal/ba"
+	"convexagreement/internal/bitstr"
+	"convexagreement/internal/highcostca"
+	"convexagreement/internal/transport"
+)
+
+// AddLastBit implements ADDLASTBIT (§3, Lemma 2): the honest parties agree
+// on one more bit of the prefix via binary BA on the (|prefix|+1)-th bit of
+// their valid values v, all of which extend prefix. The returned bitstring
+// still prefixes some valid value.
+func AddLastBit(env transport.Net, tag string, prefix, v bitstr.String) (bitstr.String, error) {
+	i := prefix.Len()
+	if i >= v.Len() {
+		return bitstr.String{}, fmt.Errorf("%w: prefix of %d bits leaves no bit to add to a %d-bit value", ErrProtocol, i, v.Len())
+	}
+	bit, err := ba.Binary(env, tag+"/lastbit", v.Bit(i))
+	if err != nil {
+		return bitstr.String{}, err
+	}
+	out, err := prefix.AppendBit(bit)
+	if err != nil {
+		return bitstr.String{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	return out, nil
+}
+
+// AddLastBlock implements ADDLASTBLOCK (§4, Lemma 5): the parties run the
+// high-communication CA once on the (i*+1)-th block of their values — a
+// value of only ℓ/n² bits, so the O(ℓ'n³) cost of HIGHCOSTCA contributes
+// only O(ℓn) — and append the agreed block to the prefix.
+func AddLastBlock(env transport.Net, tag string, prefix, v bitstr.String, blockBits int) (bitstr.String, error) {
+	if blockBits <= 0 || prefix.Len()%blockBits != 0 {
+		return bitstr.String{}, fmt.Errorf("%w: prefix of %d bits is not whole blocks of %d", ErrProtocol, prefix.Len(), blockBits)
+	}
+	iStar := prefix.Len() / blockBits
+	block, err := v.BlockRange(iStar, iStar+1, blockBits)
+	if err != nil {
+		return bitstr.String{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	agreed, err := highcostca.Run(env, tag+"/lastblock", block.Big())
+	if err != nil {
+		return bitstr.String{}, err
+	}
+	// The agreed block lies within the honest blocks' range, hence fits in
+	// blockBits bits.
+	agreedBits, err := bitstr.FromBig(agreed, blockBits)
+	if err != nil {
+		return bitstr.String{}, fmt.Errorf("%w: agreed block out of range: %v", ErrProtocol, err)
+	}
+	return prefix.Concat(agreedBits), nil
+}
+
+// GetOutput implements GETOUTPUT (§3, Lemma 3). Preconditions: prefix is
+// the agreed (i*+1)-unit prefix of some valid value, and at least t+1
+// honest parties hold valid values vBot whose representations avoid prefix.
+// Those parties announce whether their value lies below MIN_ℓ(prefix) or
+// above MAX_ℓ(prefix); one bit of BA then selects the common valid output.
+func GetOutput(env transport.Net, tag string, width int, prefix, vBot bitstr.String) (*big.Int, error) {
+	minFill, err := prefix.MinFill(width)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	maxFill, err := prefix.MaxFill(width)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	var out []transport.Packet
+	if !vBot.HasPrefix(prefix) {
+		b := byte(1)
+		if vBot.Big().Cmp(minFill) < 0 {
+			b = 0
+		}
+		out = transport.Broadcast(env, tag+"/side", []byte{b})
+	}
+	in, err := env.Exchange(out)
+	if err != nil {
+		return nil, err
+	}
+	count := [2]int{}
+	for _, payload := range transport.FirstPerSender(in) {
+		if len(payload) == 1 && payload[0] <= 1 {
+			count[payload[0]]++
+		}
+	}
+	// CHOICE: a bit received from ⌈m/2⌉ of the m senders. With ≥ t+1
+	// honest senders any such bit is honest-backed; on an exact tie both
+	// are, and 0 is taken deterministically.
+	choice := byte(0)
+	if count[1] > count[0] {
+		choice = 1
+	}
+	agreed, err := ba.Binary(env, tag+"/side-ba", choice)
+	if err != nil {
+		return nil, err
+	}
+	if agreed == 0 {
+		return minFill, nil
+	}
+	return maxFill, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"convexagreement/internal/ba"
+	"convexagreement/internal/bitstr"
+	"convexagreement/internal/highcostca"
+	"convexagreement/internal/transport"
+)
+
+// MaxWidth bounds the agreed input width a simulation will handle (2^26
+// bits = 8 MiB values); it protects against byzantine parties voting the
+// block-size estimate toward astronomically long values. Honest runs whose
+// inputs exceed it fail loudly.
+const MaxWidth = 1 << 26
+
+// PiN implements the final protocol for ℕ, Π_ℕ (§5, Theorem 5): the input
+// length ℓ is not publicly known. The parties first agree whether any input
+// exceeds n² bits; short inputs are handled by FIXEDLENGTHCA after a
+// doubling search for a length estimate, long inputs by
+// FIXEDLENGTHCABLOCKS after agreeing on a block size via HIGHCOSTCA
+// (block-size values have only O(ℓ/n²) bits, so that call stays within
+// O(ℓn) bits).
+//
+// Complexity (Theorem 5): O(ℓn + κ·n²·log²n) + O(log n)·BITS_κ(Π_BA) bits
+// and O(n) + O(log n)·ROUNDS_κ(Π_BA) rounds.
+func PiN(env transport.Net, tag string, v *big.Int) (*big.Int, error) {
+	if v == nil || v.Sign() < 0 {
+		return nil, fmt.Errorf("%w: input must be a natural number, got %v", ErrProtocol, v)
+	}
+	n := env.N()
+	n2 := n * n
+	vLen := bitstr.NatBitLen(v)
+
+	sizeClass := byte(0)
+	if vLen > n2 {
+		sizeClass = 1
+	}
+	agreedClass, err := ba.Binary(env, tag+"/sizeclass", sizeClass)
+	if err != nil {
+		return nil, err
+	}
+
+	if agreedClass == 0 {
+		// Some honest party's input fits in n² bits, so 2^(n²)−1 is in the
+		// honest range and clamping longer inputs preserves validity.
+		v = clampToWidth(v, n2)
+		// Doubling search: agree on the smallest power of two no honest
+		// party objects to. All honest inputs fit in n² ≤ 2^⌈log₂ n²⌉
+		// bits, so by Validity the loop returns by its final iteration.
+		for i := 0; ; i++ {
+			est := 1 << i
+			tooLong := byte(0)
+			if bitstr.NatBitLen(v) > est {
+				tooLong = 1
+			}
+			fits, err := ba.Binary(env, fmt.Sprintf("%s/len%d", tag, i), tooLong)
+			if err != nil {
+				return nil, err
+			}
+			if fits == 0 {
+				v = clampToWidth(v, est)
+				return FixedLengthCA(env, tag+"/flca", est, v)
+			}
+			if est >= n2 {
+				// Unreachable: at est ≥ n² every honest party inputs 0.
+				return nil, fmt.Errorf("%w: length search failed to converge", ErrProtocol)
+			}
+		}
+	}
+
+	// Some honest party's input exceeds n² bits. Agree on a block size in
+	// the honest block sizes' range via the high-cost protocol.
+	blockSize := (vLen + n2 - 1) / n2
+	agreedBS, err := highcostca.Run(env, tag+"/blocksize", big.NewInt(int64(blockSize)))
+	if err != nil {
+		return nil, err
+	}
+	if !agreedBS.IsInt64() || agreedBS.Int64() <= 0 || agreedBS.Int64() > MaxWidth/int64(n2) {
+		return nil, fmt.Errorf("%w: agreed block size %v out of simulation range", ErrProtocol, agreedBS)
+	}
+	est := int(agreedBS.Int64()) * n2
+	// The paper's listing clamps on |BITS(v)| ≥ ℓ_EST; a value of exactly
+	// ℓ_EST bits already satisfies v < 2^ℓ_EST, so clamping is only needed
+	// (and only validity-preserving) for strictly longer values, as in the
+	// protocol's own analysis ("if an honest party's input value is longer
+	// than ℓ_EST bits"). We clamp on strict inequality.
+	v = clampToWidth(v, est)
+	return FixedLengthCABlocks(env, tag+"/flcab", est, n2, v)
+}
+
+// clampToWidth replaces v by 2^width−1 when v does not fit in width bits.
+// Whenever some honest party's value fits in width bits, the clamp result
+// lies in the honest inputs' range, preserving Convex Validity.
+func clampToWidth(v *big.Int, width int) *big.Int {
+	if bitstr.NatBitLen(v) <= width {
+		return v
+	}
+	max := new(big.Int).Lsh(big.NewInt(1), uint(width))
+	return max.Sub(max, big.NewInt(1))
+}

@@ -1,0 +1,21 @@
+package gf16
+
+import "testing"
+
+func BenchmarkMul(b *testing.B) {
+	var acc Elem = 1
+	for i := 0; i < b.N; i++ {
+		acc = Mul(acc, Elem(i)|1)
+	}
+	sink = acc
+}
+
+func BenchmarkInv(b *testing.B) {
+	var acc Elem
+	for i := 0; i < b.N; i++ {
+		acc ^= Inv(Elem(i) | 1)
+	}
+	sink = acc
+}
+
+var sink Elem

@@ -1,0 +1,110 @@
+// Package gf16 implements arithmetic in the Galois field GF(2^16).
+//
+// The paper's Π_ℓBA+ protocol (Section 7) assumes Reed-Solomon codes whose
+// symbols live in a field GF(2^a) with n ≤ 2^a − 1 parties. GF(2^16)
+// supports up to 65535 parties, far beyond any simulation here, while
+// keeping symbols a convenient two bytes.
+//
+// The field is realized as GF(2)[x] / (x^16 + x^12 + x^3 + x + 1), the
+// primitive polynomial used by e.g. the PAR2 specification; x (= 0x0002) is
+// a primitive element, so multiplication is table-driven via discrete
+// logarithms.
+package gf16
+
+import "sync"
+
+// Elem is an element of GF(2^16).
+type Elem uint16
+
+// Order is the multiplicative order of the field's unit group.
+const Order = 1<<16 - 1
+
+// reducingPoly is x^16 + x^12 + x^3 + x + 1 without the leading x^16 term,
+// i.e. the feedback mask applied when a carry leaves the top bit.
+const reducingPoly = 0x100B
+
+var (
+	tablesOnce sync.Once
+	expTable   []Elem // exp[i] = x^i, doubled so products avoid a modulo
+	logTable   []uint32
+)
+
+func buildTables() {
+	expTable = make([]Elem, 2*Order)
+	logTable = make([]uint32, 1<<16)
+	v := Elem(1)
+	for i := 0; i < Order; i++ {
+		expTable[i] = v
+		expTable[i+Order] = v
+		logTable[v] = uint32(i)
+		v = mulNoTable(v, 2)
+	}
+}
+
+func ensureTables() { tablesOnce.Do(buildTables) }
+
+// mulNoTable multiplies by shift-and-reduce; used only to build the tables
+// and in tests as an independent reference implementation.
+func mulNoTable(a, b Elem) Elem {
+	var acc uint32
+	av, bv := uint32(a), uint32(b)
+	for bv != 0 {
+		if bv&1 == 1 {
+			acc ^= av
+		}
+		av <<= 1
+		if av&0x10000 != 0 {
+			av ^= 0x10000 | reducingPoly
+		}
+		bv >>= 1
+	}
+	return Elem(acc)
+}
+
+// Add returns a + b (= a − b) in GF(2^16).
+func Add(a, b Elem) Elem { return a ^ b }
+
+// Mul returns a·b in GF(2^16).
+func Mul(a, b Elem) Elem {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	ensureTables()
+	return expTable[logTable[a]+logTable[b]]
+}
+
+// Inv returns the multiplicative inverse of a. Inv(0) is undefined and
+// returns 0; callers must not divide by zero (guarded at call sites).
+func Inv(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	ensureTables()
+	return expTable[Order-logTable[a]]
+}
+
+// Div returns a / b. Division by zero returns 0 (callers guard against it).
+func Div(a, b Elem) Elem {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	ensureTables()
+	l := logTable[a] + Order - logTable[b]
+	return expTable[l%Order]
+}
+
+// Pow returns a^k for k ≥ 0, with a^0 = 1 (including 0^0 = 1).
+func Pow(a Elem, k int) Elem {
+	if k == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	ensureTables()
+	l := (uint64(logTable[a]) * uint64(k)) % Order
+	return expTable[l]
+}
+
+// MulNoTable exposes the reference multiplier for cross-checking in tests.
+func MulNoTable(a, b Elem) Elem { return mulNoTable(a, b) }

@@ -1,0 +1,41 @@
+// Package hashing provides the collision-resistant hash function H_κ assumed
+// in Section 2 of the paper, instantiated with SHA-256 (κ = 256 bits).
+//
+// The paper's proofs assume H_κ is collision-free; the protocols are secure
+// conditioned on no collision occurring, which SHA-256 delivers against any
+// realistic computationally bounded adversary.
+package hashing
+
+import "crypto/sha256"
+
+// Kappa is the security parameter κ in bits.
+const Kappa = 256
+
+// Size is the digest size in bytes (κ/8).
+const Size = sha256.Size
+
+// Digest is a κ-bit hash value.
+type Digest [Size]byte
+
+// Sum returns H_κ over the concatenation of the given byte slices.
+func Sum(parts ...[]byte) Digest {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p) // hash.Hash.Write never fails
+	}
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// FromBytes parses a digest from raw bytes, reporting whether the length was
+// valid. Byzantine payloads routinely carry wrong-length digests, so this
+// never panics.
+func FromBytes(raw []byte) (Digest, bool) {
+	var d Digest
+	if len(raw) != Size {
+		return d, false
+	}
+	copy(d[:], raw)
+	return d, true
+}

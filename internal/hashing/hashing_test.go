@@ -1,0 +1,39 @@
+package hashing
+
+import (
+	"crypto/sha256"
+	"testing"
+)
+
+func TestSumMatchesSHA256(t *testing.T) {
+	want := sha256.Sum256([]byte("hello world"))
+	if got := Sum([]byte("hello "), []byte("world")); got != Digest(want) {
+		t.Error("concatenated Sum differs from sha256 of the whole")
+	}
+	if Sum() != Digest(sha256.Sum256(nil)) {
+		t.Error("empty Sum wrong")
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	d := Sum([]byte("x"))
+	got, ok := FromBytes(d[:])
+	if !ok || got != d {
+		t.Error("round trip failed")
+	}
+	if _, ok := FromBytes(d[:31]); ok {
+		t.Error("short digest accepted")
+	}
+	if _, ok := FromBytes(append(d[:], 0)); ok {
+		t.Error("long digest accepted")
+	}
+	if _, ok := FromBytes(nil); ok {
+		t.Error("nil digest accepted")
+	}
+}
+
+func TestKappaConsistency(t *testing.T) {
+	if Kappa != 8*Size || Size != sha256.Size {
+		t.Errorf("κ=%d, size=%d inconsistent", Kappa, Size)
+	}
+}

@@ -1,0 +1,222 @@
+// Package highcostca implements HIGHCOSTCA (Theorem 3 / Appendix A.4 of the
+// paper): a Convex Agreement protocol for ℕ with communication complexity
+// O(ℓ·n³) and round complexity O(n), resilient against t < n/3 corruptions.
+//
+// It is the paper's adaptation of the Median Validity protocol of Stolz and
+// Wattenhofer [47] (a variant of the king-based BA of Berman–Garay–Perry):
+// a setup stage in which each party derives a trusted interval that provably
+// lies inside the honest inputs' range, followed by t+1 king phases that
+// converge on a single value inside some honest trusted interval.
+//
+// The paper uses it in two places — ADDLASTBLOCK (on one ℓ/n²-bit block) and
+// the block-size estimation of Π_N — and it doubles as the O(ℓn³) baseline
+// in the experiments.
+package highcostca
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"convexagreement/internal/transport"
+	"convexagreement/internal/wire"
+)
+
+// Run executes HIGHCOSTCA. All honest parties must call it in the same
+// round with the same tag, each with a non-negative input. The output is
+// the same for all honest parties and lies within the honest inputs' range.
+func Run(env transport.Net, tag string, input *big.Int) (*big.Int, error) {
+	if input == nil || input.Sign() < 0 {
+		return nil, fmt.Errorf("highcostca: input must be a natural number, got %v", input)
+	}
+	n, t := env.N(), env.T()
+
+	// ---- Setup stage ----
+	// Distribute inputs; trim the k extremes on each side, where k is the
+	// number of values received beyond the guaranteed n−t honest ones
+	// (Lemma 10: at most k of them are byzantine).
+	in, err := transport.ExchangeAll(env, tag+"/hc-input", encodeNat(input))
+	if err != nil {
+		return nil, err
+	}
+	received := decodeNats(in)
+	if len(received) < n-t {
+		// Fewer than n−t values means an honest sender's message vanished,
+		// which the synchronous model forbids: surface loudly.
+		return nil, fmt.Errorf("highcostca: received %d values, expected at least %d", len(received), n-t)
+	}
+	k := len(received) - (n - t)
+	sort.Slice(received, func(i, j int) bool { return received[i].Cmp(received[j]) < 0 })
+	intervalMin := received[k]
+	intervalMax := received[len(received)-1-k]
+
+	// Distribute trusted intervals; SUGGESTION is the smallest candidate
+	// point covered by at least n−t of the received intervals (a point in
+	// n−t intervals lies in ≥ t+1 honest intervals, hence in the honest
+	// inputs' range).
+	iv := wire.NewWriter(8)
+	iv.Bytes(intervalMin.Bytes())
+	iv.Bytes(intervalMax.Bytes())
+	in, err = transport.ExchangeAll(env, tag+"/hc-interval", iv.Finish())
+	if err != nil {
+		return nil, err
+	}
+	suggestion := chooseSuggestion(in, n-t)
+	if suggestion == nil {
+		// Unreachable when ≥ n−t honest intervals arrive (their pairwise
+		// intersection is witnessed by the (t+1)-th lowest honest input);
+		// fall back to the party's own valid input defensively.
+		suggestion = input
+	}
+	current := suggestion
+
+	// ---- Search stage: t+1 king phases of 4 rounds each ----
+	for phase := 0; phase <= t; phase++ {
+		king := transport.PartyID(phase % n)
+
+		// Round A: exchange CURRENT values.
+		in, err = transport.ExchangeAll(env, tag+"/hc-current", encodeNat(current))
+		if err != nil {
+			return nil, err
+		}
+		strong := natWithSupport(in, n-t) // value seen from n−t parties, if any
+
+		// Round B: propose a value that n−t parties reported.
+		var out []transport.Packet
+		if strong != nil {
+			out = transport.Broadcast(env, tag+"/hc-propose", encodeNat(strong))
+		}
+		in, err = env.Exchange(out)
+		if err != nil {
+			return nil, err
+		}
+		proposed := natWithSupport(in, t+1)
+		proposalQuorum := natWithSupport(in, n-t) != nil
+		if proposed != nil {
+			current = proposed
+		}
+
+		// Round C: the king broadcasts its pick.
+		out = nil
+		if env.ID() == king {
+			kingValue := suggestion
+			if proposed != nil {
+				kingValue = proposed
+			}
+			out = transport.Broadcast(env, tag+"/hc-king", encodeNat(kingValue))
+		}
+		in, err = env.Exchange(out)
+		if err != nil {
+			return nil, err
+		}
+		var kingValue *big.Int
+		for _, m := range in {
+			if m.From == king {
+				kingValue = decodeNat(m.Payload)
+				break
+			}
+		}
+
+		// Round D: endorse the king's value if it matches CURRENT or lies
+		// in the trusted interval; adopt an endorsed king value unless a
+		// full proposal quorum was already seen.
+		out = nil
+		if kingValue != nil &&
+			(kingValue.Cmp(current) == 0 ||
+				(kingValue.Cmp(intervalMin) >= 0 && kingValue.Cmp(intervalMax) <= 0)) {
+			out = transport.Broadcast(env, tag+"/hc-vote", encodeNat(kingValue))
+		}
+		in, err = env.Exchange(out)
+		if err != nil {
+			return nil, err
+		}
+		if !proposalQuorum {
+			if voted := natWithSupport(in, t+1); voted != nil {
+				current = voted
+			}
+		}
+	}
+	return current, nil
+}
+
+// Rounds returns ROUNDS_ℓ(HIGHCOSTCA) for corruption budget t: two setup
+// rounds plus four rounds per king phase.
+func Rounds(t int) int { return 2 + 4*(t+1) }
+
+// encodeNat serializes a natural number canonically (no leading zeros).
+func encodeNat(v *big.Int) []byte { return v.Bytes() }
+
+// decodeNat parses a natural number; any byte string is a valid ℕ value
+// (the paper's "ignore values outside ℕ" maps to: everything on the wire is
+// interpreted canonically, so no non-natural can be smuggled in).
+func decodeNat(raw []byte) *big.Int { return new(big.Int).SetBytes(raw) }
+
+// decodeNats extracts one natural per sender.
+func decodeNats(in []transport.Message) []*big.Int {
+	per := transport.FirstPerSender(in)
+	out := make([]*big.Int, 0, len(per))
+	for _, payload := range per {
+		out = append(out, decodeNat(payload))
+	}
+	return out
+}
+
+// natWithSupport returns the smallest value that at least threshold distinct
+// senders sent this round, or nil. (At the thresholds used by the protocol
+// at most one value can be honest-backed; taking the smallest keeps the
+// defensive tie-break deterministic.)
+func natWithSupport(in []transport.Message, threshold int) *big.Int {
+	counts := make(map[string]int)
+	for _, payload := range transport.FirstPerSender(in) {
+		counts[string(decodeNat(payload).Bytes())]++
+	}
+	var best *big.Int
+	for s, c := range counts {
+		if c < threshold {
+			continue
+		}
+		v := new(big.Int).SetBytes([]byte(s))
+		if best == nil || v.Cmp(best) < 0 {
+			best = v
+		}
+	}
+	return best
+}
+
+// interval is a received trusted interval.
+type interval struct {
+	lo, hi *big.Int
+}
+
+// chooseSuggestion picks the smallest candidate point (drawn from the
+// received intervals' lower endpoints) that is covered by at least
+// `coverage` well-formed intervals, or nil if none exists.
+func chooseSuggestion(in []transport.Message, coverage int) *big.Int {
+	var ivs []interval
+	for _, payload := range transport.FirstPerSender(in) {
+		r := wire.NewReader(payload)
+		lo := new(big.Int).SetBytes(r.Bytes())
+		hi := new(big.Int).SetBytes(r.Bytes())
+		if r.Close() != nil || lo.Cmp(hi) > 0 {
+			continue // malformed or empty interval
+		}
+		ivs = append(ivs, interval{lo: lo, hi: hi})
+	}
+	candidates := make([]*big.Int, 0, len(ivs))
+	for _, iv := range ivs {
+		candidates = append(candidates, iv.lo)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Cmp(candidates[j]) < 0 })
+	for _, p := range candidates {
+		count := 0
+		for _, iv := range ivs {
+			if iv.lo.Cmp(p) <= 0 && iv.hi.Cmp(p) >= 0 {
+				count++
+			}
+		}
+		if count >= coverage {
+			return p
+		}
+	}
+	return nil
+}

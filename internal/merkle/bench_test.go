@@ -1,0 +1,47 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchLeaves(n, size int) [][]byte {
+	rng := rand.New(rand.NewSource(3))
+	leaves := make([][]byte, n)
+	for i := range leaves {
+		leaves[i] = make([]byte, size)
+		rng.Read(leaves[i])
+	}
+	return leaves
+}
+
+func BenchmarkBuild_n64(b *testing.B) {
+	leaves := benchLeaves(64, 256)
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(leaves); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWitness_n64(b *testing.B) {
+	tree, _ := Build(benchLeaves(64, 256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Witness(i % 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify_n64(b *testing.B) {
+	leaves := benchLeaves(64, 256)
+	tree, _ := Build(leaves)
+	w, _ := tree.Witness(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(tree.Root(), 17, 64, leaves[17], w) {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package merkle implements the Merkle-tree cryptographic accumulator used
+// by the paper's Π_ℓBA+ (Section 7): MT.BUILD compresses a sequence of
+// values into a κ-bit root, and per-leaf witnesses of O(κ·log n) bits let
+// any party verify that a value sits at a claimed position under a claimed
+// root (MT.VERIFY).
+//
+// The tree shape follows RFC 6962: a list of size > 1 splits at the largest
+// power of two strictly smaller than the size. Leaf and interior hashes are
+// domain-separated, which (together with SHA-256's collision resistance)
+// prevents an adversary from presenting an interior node as a leaf or
+// forging witnesses for values it did not commit to.
+package merkle
+
+import (
+	"errors"
+	"fmt"
+
+	"convexagreement/internal/hashing"
+)
+
+// Domain-separation prefixes (RFC 6962).
+var (
+	leafPrefix = []byte{0x00}
+	nodePrefix = []byte{0x01}
+)
+
+// ErrBuild reports invalid Build input.
+var ErrBuild = errors.New("merkle: cannot build tree")
+
+// Tree is an immutable Merkle tree over a sequence of leaves. It retains all
+// internal node hashes so witnesses are produced in O(log n) time.
+type Tree struct {
+	n      int
+	leaves []hashing.Digest
+	root   hashing.Digest
+	// memo caches subtree roots keyed by [lo,hi) ranges encountered during
+	// construction; ranges are unique in the RFC 6962 decomposition.
+	memo map[[2]int]hashing.Digest
+}
+
+// Build constructs the tree for the given leaf values (the paper's
+// MT.BUILD). It requires at least one leaf.
+func Build(leaves [][]byte) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("%w: no leaves", ErrBuild)
+	}
+	t := &Tree{
+		n:      len(leaves),
+		leaves: make([]hashing.Digest, len(leaves)),
+		memo:   make(map[[2]int]hashing.Digest, 2*len(leaves)),
+	}
+	for i, leaf := range leaves {
+		t.leaves[i] = hashing.Sum(leafPrefix, leaf)
+	}
+	t.root = t.subtree(0, t.n)
+	return t, nil
+}
+
+// N returns the number of leaves.
+func (t *Tree) N() int { return t.n }
+
+// Root returns the κ-bit accumulator value z.
+func (t *Tree) Root() hashing.Digest { return t.root }
+
+// split returns the RFC 6962 split point for a range of the given size: the
+// largest power of two strictly smaller than size.
+func split(size int) int {
+	k := 1
+	for k*2 < size {
+		k *= 2
+	}
+	return k
+}
+
+func (t *Tree) subtree(lo, hi int) hashing.Digest {
+	if hi-lo == 1 {
+		return t.leaves[lo]
+	}
+	if d, ok := t.memo[[2]int{lo, hi}]; ok {
+		return d
+	}
+	mid := lo + split(hi-lo)
+	l := t.subtree(lo, mid)
+	r := t.subtree(mid, hi)
+	d := hashing.Sum(nodePrefix, l[:], r[:])
+	t.memo[[2]int{lo, hi}] = d
+	return d
+}
+
+// Witness returns the audit path for leaf i: the sibling hashes from the
+// leaf to the root, leaf-adjacent first. This is the w_i of the paper, of
+// size O(κ·log n).
+func (t *Tree) Witness(i int) ([]hashing.Digest, error) {
+	if i < 0 || i >= t.n {
+		return nil, fmt.Errorf("merkle: leaf index %d out of range [0,%d)", i, t.n)
+	}
+	var path []hashing.Digest
+	lo, hi := 0, t.n
+	for hi-lo > 1 {
+		mid := lo + split(hi-lo)
+		if i < mid {
+			path = append(path, t.subtree(mid, hi))
+			hi = mid
+		} else {
+			path = append(path, t.subtree(lo, mid))
+			lo = mid
+		}
+	}
+	// The path was collected root-first; reverse to leaf-adjacent first.
+	for a, b := 0, len(path)-1; a < b; a, b = a+1, b-1 {
+		path[a], path[b] = path[b], path[a]
+	}
+	return path, nil
+}
+
+// Verify is the paper's MT.VERIFY(z, i, s_i, w_i): it reports whether
+// witness proves that value sits at leaf index i of an n-leaf tree whose
+// root is root. It never panics, whatever the (possibly byzantine) inputs.
+func Verify(root hashing.Digest, i, n int, value []byte, witness []hashing.Digest) bool {
+	if i < 0 || i >= n || n < 1 {
+		return false
+	}
+	digest, used, ok := recompute(i, 0, n, value, witness)
+	return ok && used == len(witness) && digest == root
+}
+
+func recompute(i, lo, hi int, value []byte, witness []hashing.Digest) (hashing.Digest, int, bool) {
+	if hi-lo == 1 {
+		return hashing.Sum(leafPrefix, value), 0, true
+	}
+	mid := lo + split(hi-lo)
+	var child hashing.Digest
+	var used int
+	var ok bool
+	if i < mid {
+		child, used, ok = recompute(i, lo, mid, value, witness)
+	} else {
+		child, used, ok = recompute(i, mid, hi, value, witness)
+	}
+	if !ok || used >= len(witness) {
+		return hashing.Digest{}, 0, false
+	}
+	sib := witness[used]
+	var d hashing.Digest
+	if i < mid {
+		d = hashing.Sum(nodePrefix, child[:], sib[:])
+	} else {
+		d = hashing.Sum(nodePrefix, sib[:], child[:])
+	}
+	return d, used + 1, true
+}
+
+// WitnessSize returns the number of digests in a witness for an n-leaf tree
+// and leaf index i (used for communication accounting).
+func WitnessSize(i, n int) int {
+	count := 0
+	lo, hi := 0, n
+	for hi-lo > 1 {
+		mid := lo + split(hi-lo)
+		if i < mid {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		count++
+	}
+	return count
+}
+
+// MarshalWitness flattens a witness for the wire.
+func MarshalWitness(w []hashing.Digest) []byte {
+	out := make([]byte, 0, len(w)*hashing.Size)
+	for _, d := range w {
+		out = append(out, d[:]...)
+	}
+	return out
+}
+
+// UnmarshalWitness parses a witness from the wire; it rejects lengths that
+// are not a whole number of digests.
+func UnmarshalWitness(raw []byte) ([]hashing.Digest, bool) {
+	if len(raw)%hashing.Size != 0 {
+		return nil, false
+	}
+	w := make([]hashing.Digest, len(raw)/hashing.Size)
+	for i := range w {
+		copy(w[i][:], raw[i*hashing.Size:])
+	}
+	return w, true
+}

@@ -1,0 +1,264 @@
+package rbc_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"convexagreement/internal/asyncnet"
+	"convexagreement/internal/rbc"
+	"convexagreement/internal/wire"
+)
+
+// collectUntil runs a receive loop feeding the node until want deliveries
+// arrive (or the run is halted).
+func collectUntil(net *asyncnet.Net, id asyncnet.PartyID, nd *rbc.Node, want int) ([]rbc.Delivery, error) {
+	var got []rbc.Delivery
+	for len(got) < want {
+		msg, err := net.Recv(id)
+		if err != nil {
+			return got, err
+		}
+		got = append(got, nd.Handle(msg)...)
+	}
+	return got, nil
+}
+
+func schedulers() map[string]func() asyncnet.Scheduler {
+	return map[string]func() asyncnet.Scheduler{
+		"random": func() asyncnet.Scheduler { return asyncnet.NewRandomScheduler(5) },
+		"lifo":   func() asyncnet.Scheduler { return asyncnet.LIFOScheduler{} },
+		"delay0": func() asyncnet.Scheduler { return asyncnet.NewDelayScheduler(5, 0) },
+	}
+}
+
+func TestValidityHonestSender(t *testing.T) {
+	for name, mk := range schedulers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			const n, tc = 7, 2
+			value := []byte("reliable-payload")
+			var mu sync.Mutex
+			delivered := map[asyncnet.PartyID][]byte{}
+			parties := make([]asyncnet.Party, n)
+			for i := 0; i < n; i++ {
+				parties[i] = asyncnet.Party{Behavior: func(net *asyncnet.Net, id asyncnet.PartyID) error {
+					nd := rbc.NewNode(net, id)
+					if id == 0 {
+						nd.Broadcast(1, value)
+					}
+					got, err := collectUntil(net, id, nd, 1)
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					delivered[id] = got[0].Value
+					mu.Unlock()
+					if got[0].Sender != 0 || got[0].Slot != 1 {
+						return fmt.Errorf("wrong instance delivered: %+v", got[0])
+					}
+					return nil
+				}}
+			}
+			if _, err := asyncnet.Run(asyncnet.Config{N: n, T: tc, Scheduler: mk()}, parties); err != nil {
+				t.Fatal(err)
+			}
+			for id, v := range delivered {
+				if !bytes.Equal(v, value) {
+					t.Errorf("party %d delivered %q", id, v)
+				}
+			}
+			if len(delivered) != n {
+				t.Errorf("%d deliveries", len(delivered))
+			}
+		})
+	}
+}
+
+// equivocatingSender sends INITIAL(v1) to half the parties and INITIAL(v2)
+// to the rest, then idles.
+func equivocatingSender(slot uint64, v1, v2 []byte) asyncnet.Party {
+	return asyncnet.Party{Corrupt: true, Behavior: func(net *asyncnet.Net, id asyncnet.PartyID) error {
+		for to := 0; to < net.N(); to++ {
+			v := v1
+			if to%2 == 1 {
+				v = v2
+			}
+			// Hand-rolled INITIAL frame, matching the node's wire format.
+			w := wire.NewWriter(16 + len(v))
+			w.Byte(1)
+			w.Uvarint(slot)
+			w.Uvarint(uint64(id))
+			w.Bytes(v)
+			net.Send(id, asyncnet.PartyID(to), w.Finish())
+		}
+		for {
+			if _, err := net.Recv(id); err != nil {
+				return err
+			}
+		}
+	}}
+}
+
+func TestConsistencyUnderEquivocation(t *testing.T) {
+	// A byzantine sender equivocates; honest parties either deliver nothing
+	// (allowed: byzantine sender) or all deliver the same value. To settle
+	// the run, every honest party ALSO broadcasts a beacon instance of its
+	// own that is guaranteed to deliver.
+	const n, tc = 7, 2
+	var mu sync.Mutex
+	delivered := map[asyncnet.PartyID]map[string]string{} // party → slotkey → value
+	parties := make([]asyncnet.Party, n)
+	parties[3] = equivocatingSender(7, []byte("AAA"), []byte("BBB"))
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		parties[i] = asyncnet.Party{Behavior: func(net *asyncnet.Net, id asyncnet.PartyID) error {
+			nd := rbc.NewNode(net, id)
+			nd.Broadcast(100+uint64(id), []byte{byte(id)})
+			// Wait for the n-1 honest beacons; whatever the equivocating
+			// instance does happens alongside.
+			seen := map[string]string{}
+			beacons := 0
+			for beacons < n-1 {
+				msg, err := net.Recv(id)
+				if err != nil {
+					return err
+				}
+				for _, d := range nd.Handle(msg) {
+					key := fmt.Sprintf("%d/%d", d.Slot, d.Sender)
+					seen[key] = string(d.Value)
+					if d.Slot >= 100 {
+						beacons++
+					}
+				}
+			}
+			mu.Lock()
+			delivered[id] = seen
+			mu.Unlock()
+			return nil
+		}}
+	}
+	if _, err := asyncnet.Run(asyncnet.Config{N: n, T: tc, Seed: 11}, parties); err != nil {
+		t.Fatal(err)
+	}
+	// Consistency: across parties, the equivocated instance (7/3) must not
+	// have two different delivered values.
+	values := map[string]bool{}
+	for _, seen := range delivered {
+		if v, ok := seen["7/3"]; ok {
+			values[v] = true
+		}
+	}
+	if len(values) > 1 {
+		t.Errorf("equivocated instance delivered multiple values: %v", values)
+	}
+}
+
+func TestTotalityAndMultipleInstances(t *testing.T) {
+	// Every party broadcasts in its own slot; every honest party must
+	// deliver all n instances with the right values (validity + totality).
+	const n, tc = 10, 3
+	var mu sync.Mutex
+	counts := map[asyncnet.PartyID]int{}
+	parties := make([]asyncnet.Party, n)
+	for i := 0; i < n; i++ {
+		parties[i] = asyncnet.Party{Behavior: func(net *asyncnet.Net, id asyncnet.PartyID) error {
+			nd := rbc.NewNode(net, id)
+			nd.Broadcast(uint64(id), []byte(fmt.Sprintf("value-%d", id)))
+			got, err := collectUntil(net, id, nd, n)
+			if err != nil {
+				return err
+			}
+			for _, d := range got {
+				want := fmt.Sprintf("value-%d", d.Sender)
+				if uint64(d.Sender) != d.Slot || string(d.Value) != want {
+					return fmt.Errorf("bad delivery %+v", d)
+				}
+			}
+			mu.Lock()
+			counts[id] = len(got)
+			mu.Unlock()
+			return nil
+		}}
+	}
+	if _, err := asyncnet.Run(asyncnet.Config{N: n, T: tc, Seed: 21}, parties); err != nil {
+		t.Fatal(err)
+	}
+	for id, c := range counts {
+		if c != n {
+			t.Errorf("party %d delivered %d instances", id, c)
+		}
+	}
+}
+
+func TestSilentByzantineDoNotBlock(t *testing.T) {
+	// t parties send nothing at all; the remaining n−t honest instances
+	// must still deliver everywhere.
+	const n, tc = 7, 2
+	parties := make([]asyncnet.Party, n)
+	for i := 0; i < tc; i++ {
+		parties[i] = asyncnet.Party{Corrupt: true, Behavior: func(net *asyncnet.Net, id asyncnet.PartyID) error {
+			for {
+				if _, err := net.Recv(id); err != nil {
+					return err
+				}
+			}
+		}}
+	}
+	for i := tc; i < n; i++ {
+		parties[i] = asyncnet.Party{Behavior: func(net *asyncnet.Net, id asyncnet.PartyID) error {
+			nd := rbc.NewNode(net, id)
+			nd.Broadcast(0, []byte{byte(id)})
+			_, err := collectUntil(net, id, nd, n-tc)
+			return err
+		}}
+	}
+	if _, err := asyncnet.Run(asyncnet.Config{N: n, T: tc, Seed: 31}, parties); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGarbageMessagesIgnored(t *testing.T) {
+	const n, tc = 4, 1
+	parties := make([]asyncnet.Party, n)
+	parties[0] = asyncnet.Party{Corrupt: true, Behavior: func(net *asyncnet.Net, id asyncnet.PartyID) error {
+		for to := 0; to < n; to++ {
+			net.Send(id, asyncnet.PartyID(to), []byte{0xff, 0x01})
+			net.Send(id, asyncnet.PartyID(to), nil)
+			// A forged INITIAL claiming to be from party 2.
+			w := wire.NewWriter(8)
+			w.Byte(1)
+			w.Uvarint(5)
+			w.Uvarint(2)
+			w.Bytes([]byte("forged"))
+			net.Send(id, asyncnet.PartyID(to), w.Finish())
+		}
+		for {
+			if _, err := net.Recv(id); err != nil {
+				return err
+			}
+		}
+	}}
+	for i := 1; i < n; i++ {
+		parties[i] = asyncnet.Party{Behavior: func(net *asyncnet.Net, id asyncnet.PartyID) error {
+			nd := rbc.NewNode(net, id)
+			nd.Broadcast(uint64(id), []byte{byte(id)})
+			got, err := collectUntil(net, id, nd, n-1)
+			if err != nil {
+				return err
+			}
+			for _, d := range got {
+				if d.Slot == 5 && d.Sender == 2 {
+					return fmt.Errorf("forged instance delivered")
+				}
+			}
+			return nil
+		}}
+	}
+	if _, err := asyncnet.Run(asyncnet.Config{N: n, T: tc, Seed: 41}, parties); err != nil {
+		t.Fatal(err)
+	}
+}

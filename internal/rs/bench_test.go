@@ -1,0 +1,61 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchCodec(b *testing.B, n, k, payloadLen int, decodeIndices func(rng *rand.Rand) []int) {
+	b.Helper()
+	c, err := NewCodec(n, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, payloadLen)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(payload)
+	shares, err := c.Encode(payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := decodeIndices(rng)
+	sub := make([]Share, 0, len(idx))
+	for _, i := range idx {
+		sub = append(sub, shares[i])
+	}
+	b.SetBytes(int64(payloadLen))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(sub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode_n31_k21_64KiB(b *testing.B) {
+	c, _ := NewCodec(31, 21)
+	payload := make([]byte, 64<<10)
+	rand.New(rand.NewSource(2)).Read(payload)
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeSystematic_n31_k21_64KiB(b *testing.B) {
+	benchCodec(b, 31, 21, 64<<10, func(*rand.Rand) []int {
+		idx := make([]int, 21)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	})
+}
+
+func BenchmarkDecodeInterpolated_n31_k21_64KiB(b *testing.B) {
+	benchCodec(b, 31, 21, 64<<10, func(rng *rand.Rand) []int {
+		return rng.Perm(31)[:21]
+	})
+}

@@ -1,0 +1,29 @@
+package rs_test
+
+import (
+	"fmt"
+
+	"convexagreement/internal/rs"
+)
+
+// A (7, 5) code: any 5 of the 7 shares reconstruct the payload — exactly
+// the (n, n−t) parameters Π_ℓBA+ uses so that the n−t honest parties'
+// shares always suffice.
+func ExampleCodec() {
+	codec, err := rs.NewCodec(7, 5)
+	if err != nil {
+		panic(err)
+	}
+	payload := []byte("the paper's long input value")
+	shares, err := codec.Encode(payload)
+	if err != nil {
+		panic(err)
+	}
+	// Two shares lost (byzantine holders): decode from the remaining five.
+	got, err := codec.Decode(shares[2:])
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(got))
+	// Output: the paper's long input value
+}

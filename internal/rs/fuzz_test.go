@@ -1,0 +1,52 @@
+package rs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary share data into the decoder: it must never
+// panic and must either error or return some payload.
+func FuzzDecode(f *testing.F) {
+	c, err := NewCodec(5, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, _ := c.Encode([]byte("seed payload"))
+	f.Add(int(0), good[0].Data, int(1), good[1].Data, int(2), good[2].Data)
+	f.Add(int(0), []byte{1, 2}, int(1), []byte{3}, int(9), []byte{})
+	f.Fuzz(func(t *testing.T, i0 int, d0 []byte, i1 int, d1 []byte, i2 int, d2 []byte) {
+		shares := []Share{{Index: i0, Data: d0}, {Index: i1, Data: d1}, {Index: i2, Data: d2}}
+		_, _ = c.Decode(shares)
+	})
+}
+
+// FuzzEncodeDecode: any payload round-trips through any 3 of 5 shares.
+func FuzzEncodeDecode(f *testing.F) {
+	c, err := NewCodec(5, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte("hello world"), uint8(0))
+	f.Add([]byte{}, uint8(7))
+	f.Fuzz(func(t *testing.T, payload []byte, pick uint8) {
+		if len(payload) > 1<<16 {
+			return
+		}
+		shares, err := c.Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Choose a 3-subset deterministically from pick.
+		subsets := [][3]int{{0, 1, 2}, {0, 1, 3}, {0, 1, 4}, {0, 2, 3}, {0, 2, 4},
+			{0, 3, 4}, {1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {2, 3, 4}}
+		sel := subsets[int(pick)%len(subsets)]
+		got, err := c.Decode([]Share{shares[sel[0]], shares[sel[1]], shares[sel[2]]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip failed for %d bytes via %v", len(payload), sel)
+		}
+	})
+}

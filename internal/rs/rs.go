@@ -1,0 +1,278 @@
+// Package rs implements the systematic Reed-Solomon erasure code assumed by
+// the paper's Π_ℓBA+ protocol (Section 7): RS.ENCODE splits a value into n
+// codewords of O(ℓ/n) bits each such that RS.DECODE reconstructs the value
+// from any k = n − t of them.
+//
+// Symbols are elements of GF(2^16) (package gf16). The code is systematic:
+// the k data symbols of each stripe are the polynomial's evaluations at
+// points 1..k, and shares k+1..n are evaluations at the remaining points, so
+// shares 0..k−1 carry the payload verbatim.
+//
+// Corrupted shares are *not* detected here — the protocol layer filters
+// shares through Merkle-tree witnesses (package merkle) before decoding, so
+// decoding is pure erasure decoding, exactly as in the paper.
+package rs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"convexagreement/internal/gf16"
+)
+
+// Errors returned by the codec.
+var (
+	ErrParams        = errors.New("rs: invalid code parameters")
+	ErrTooFewShares  = errors.New("rs: not enough shares to decode")
+	ErrShareMismatch = errors.New("rs: inconsistent or malformed shares")
+	ErrCorrupt       = errors.New("rs: decoded payload is malformed")
+)
+
+// Codec is a Reed-Solomon code with n total shares and data dimension k:
+// any k of the n shares reconstruct the payload. A Codec is immutable after
+// construction and safe for concurrent use.
+type Codec struct {
+	n, k int
+	// ext[r][j] is the Lagrange coefficient mapping data symbol j to
+	// extension share k+r, precomputed at construction.
+	ext [][]gf16.Elem
+}
+
+// Share is one codeword: the Index-th share (0-based) of an encoded payload.
+type Share struct {
+	Index int
+	Data  []byte
+}
+
+// point returns the field evaluation point for share index i (0-based).
+func point(i int) gf16.Elem { return gf16.Elem(i + 1) }
+
+// NewCodec builds an (n, k) code. Requires 1 ≤ k ≤ n ≤ 65535.
+func NewCodec(n, k int) (*Codec, error) {
+	if k < 1 || n < k || n > 65535 {
+		return nil, fmt.Errorf("%w: n=%d k=%d", ErrParams, n, k)
+	}
+	c := &Codec{n: n, k: k}
+	if n == k {
+		return c, nil
+	}
+	// Barycentric weights over the data points 1..k:
+	//   w_j = 1 / Π_{m≠j} (x_j − x_m).
+	w := make([]gf16.Elem, k)
+	for j := 0; j < k; j++ {
+		prod := gf16.Elem(1)
+		for m := 0; m < k; m++ {
+			if m != j {
+				prod = gf16.Mul(prod, gf16.Add(point(j), point(m)))
+			}
+		}
+		w[j] = gf16.Inv(prod)
+	}
+	c.ext = make([][]gf16.Elem, n-k)
+	for r := 0; r < n-k; r++ {
+		t := point(k + r)
+		// full = Π_m (t − x_m); row[j] = full · w_j / (t − x_j).
+		full := gf16.Elem(1)
+		for m := 0; m < k; m++ {
+			full = gf16.Mul(full, gf16.Add(t, point(m)))
+		}
+		row := make([]gf16.Elem, k)
+		for j := 0; j < k; j++ {
+			row[j] = gf16.Mul(gf16.Mul(full, w[j]), gf16.Inv(gf16.Add(t, point(j))))
+		}
+		c.ext[r] = row
+	}
+	return c, nil
+}
+
+// N returns the total number of shares.
+func (c *Codec) N() int { return c.n }
+
+// K returns the reconstruction threshold (data dimension).
+func (c *Codec) K() int { return c.k }
+
+// ShareSize returns the byte length of each share for a payload of
+// payloadLen bytes.
+func (c *Codec) ShareSize(payloadLen int) int {
+	return 2 * c.stripes(payloadLen)
+}
+
+func (c *Codec) stripes(payloadLen int) int {
+	total := 4 + payloadLen // 4-byte length header
+	perStripe := 2 * c.k
+	return (total + perStripe - 1) / perStripe
+}
+
+// Encode is the paper's RS.ENCODE: it splits payload into n shares of
+// ShareSize(len(payload)) bytes each. Encoding is deterministic, so every
+// honest party derives identical shares from identical payloads.
+func (c *Codec) Encode(payload []byte) ([]Share, error) {
+	if len(payload) > 1<<31-5 {
+		return nil, fmt.Errorf("%w: payload too large", ErrParams)
+	}
+	stripes := c.stripes(len(payload))
+	// Data symbol grid: sym[s][j] = symbol j of stripe s.
+	framed := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(framed, uint32(len(payload)))
+	copy(framed[4:], payload)
+	shares := make([]Share, c.n)
+	for i := range shares {
+		shares[i] = Share{Index: i, Data: make([]byte, 2*stripes)}
+	}
+	data := make([]gf16.Elem, c.k)
+	for s := 0; s < stripes; s++ {
+		for j := 0; j < c.k; j++ {
+			off := 2 * (s*c.k + j)
+			var v uint16
+			if off < len(framed) {
+				v = uint16(framed[off]) << 8
+			}
+			if off+1 < len(framed) {
+				v |= uint16(framed[off+1])
+			}
+			data[j] = gf16.Elem(v)
+			binary.BigEndian.PutUint16(shares[j].Data[2*s:], v) // systematic part
+		}
+		for r := 0; r < c.n-c.k; r++ {
+			var acc gf16.Elem
+			row := c.ext[r]
+			for j := 0; j < c.k; j++ {
+				acc = gf16.Add(acc, gf16.Mul(row[j], data[j]))
+			}
+			binary.BigEndian.PutUint16(shares[c.k+r].Data[2*s:], uint16(acc))
+		}
+	}
+	return shares, nil
+}
+
+// Decode is the paper's RS.DECODE: it reconstructs the payload from any k
+// distinct, well-formed shares. Extra shares beyond k are ignored (the
+// protocol layer has already authenticated every share it passes in).
+func (c *Codec) Decode(shares []Share) ([]byte, error) {
+	chosen, err := c.selectShares(shares)
+	if err != nil {
+		return nil, err
+	}
+	stripes := len(chosen[0].Data) / 2
+	framed := make([]byte, 2*c.k*stripes)
+
+	// Fast path: if all data-range shares are present, copy them through.
+	systematic := true
+	for j := 0; j < c.k; j++ {
+		if chosen[j].Index != j {
+			systematic = false
+			break
+		}
+	}
+	if systematic {
+		for j := 0; j < c.k; j++ {
+			for s := 0; s < stripes; s++ {
+				copy(framed[2*(s*c.k+j):], chosen[j].Data[2*s:2*s+2])
+			}
+		}
+		return unframe(framed)
+	}
+
+	// General path: Lagrange-interpolate each stripe at the data points.
+	// Precompute the k×k decode matrix dec[t][j]: contribution of chosen
+	// share j to data symbol t, via barycentric weights over the chosen
+	// points.
+	pts := make([]gf16.Elem, c.k)
+	for j, sh := range chosen {
+		pts[j] = point(sh.Index)
+	}
+	w := make([]gf16.Elem, c.k)
+	for j := 0; j < c.k; j++ {
+		prod := gf16.Elem(1)
+		for m := 0; m < c.k; m++ {
+			if m != j {
+				prod = gf16.Mul(prod, gf16.Add(pts[j], pts[m]))
+			}
+		}
+		w[j] = gf16.Inv(prod)
+	}
+	dec := make([][]gf16.Elem, c.k)
+	for t := 0; t < c.k; t++ {
+		tp := point(t)
+		row := make([]gf16.Elem, c.k)
+		// If the target point is among the chosen points, the polynomial
+		// value there is that share's symbol verbatim.
+		direct := -1
+		for j := range pts {
+			if pts[j] == tp {
+				direct = j
+				break
+			}
+		}
+		if direct >= 0 {
+			row[direct] = 1
+		} else {
+			full := gf16.Elem(1)
+			for m := 0; m < c.k; m++ {
+				full = gf16.Mul(full, gf16.Add(tp, pts[m]))
+			}
+			for j := 0; j < c.k; j++ {
+				row[j] = gf16.Mul(gf16.Mul(full, w[j]), gf16.Inv(gf16.Add(tp, pts[j])))
+			}
+		}
+		dec[t] = row
+	}
+	sym := make([]gf16.Elem, c.k)
+	for s := 0; s < stripes; s++ {
+		for j := 0; j < c.k; j++ {
+			sym[j] = gf16.Elem(binary.BigEndian.Uint16(chosen[j].Data[2*s:]))
+		}
+		for t := 0; t < c.k; t++ {
+			var acc gf16.Elem
+			row := dec[t]
+			for j := 0; j < c.k; j++ {
+				acc = gf16.Add(acc, gf16.Mul(row[j], sym[j]))
+			}
+			binary.BigEndian.PutUint16(framed[2*(s*c.k+t):], uint16(acc))
+		}
+	}
+	return unframe(framed)
+}
+
+// selectShares validates the provided shares and returns k of them sorted by
+// index.
+func (c *Codec) selectShares(shares []Share) ([]Share, error) {
+	seen := make(map[int]bool, len(shares))
+	valid := make([]Share, 0, len(shares))
+	var size = -1
+	for _, sh := range shares {
+		if sh.Index < 0 || sh.Index >= c.n || seen[sh.Index] {
+			return nil, fmt.Errorf("%w: bad or duplicate index %d", ErrShareMismatch, sh.Index)
+		}
+		if len(sh.Data) == 0 || len(sh.Data)%2 != 0 {
+			return nil, fmt.Errorf("%w: share %d has odd length %d", ErrShareMismatch, sh.Index, len(sh.Data))
+		}
+		if size == -1 {
+			size = len(sh.Data)
+		} else if len(sh.Data) != size {
+			return nil, fmt.Errorf("%w: share lengths differ", ErrShareMismatch)
+		}
+		seen[sh.Index] = true
+		valid = append(valid, sh)
+	}
+	if len(valid) < c.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(valid), c.k)
+	}
+	sort.Slice(valid, func(i, j int) bool { return valid[i].Index < valid[j].Index })
+	return valid[:c.k], nil
+}
+
+func unframe(framed []byte) ([]byte, error) {
+	if len(framed) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := binary.BigEndian.Uint32(framed)
+	if int64(n) > int64(len(framed)-4) {
+		return nil, fmt.Errorf("%w: claimed length %d exceeds frame", ErrCorrupt, n)
+	}
+	out := make([]byte, n)
+	copy(out, framed[4:4+n])
+	return out, nil
+}

@@ -1,0 +1,26 @@
+package sim
+
+import "testing"
+
+// BenchmarkRoundThroughput measures the scheduler's all-to-all round rate:
+// the simulation overhead floor under every protocol benchmark.
+func BenchmarkRoundThroughput_n16(b *testing.B) {
+	const n = 16
+	payload := make([]byte, 64)
+	parties := make([]Party, n)
+	rounds := b.N
+	for i := range parties {
+		parties[i] = Party{Behavior: func(env *Env) error {
+			for r := 0; r < rounds; r++ {
+				if _, err := env.ExchangeAll("bench", payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		}}
+	}
+	b.ResetTimer()
+	if _, err := Run(Config{N: n, T: 5, MaxRounds: rounds + 1}, parties); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+package sim_test
+
+import (
+	"testing"
+
+	"convexagreement/internal/sim"
+	"convexagreement/internal/transport"
+	"convexagreement/internal/transporttest"
+)
+
+func TestConformance(t *testing.T) {
+	transporttest.Conformance(t, func(t *testing.T, n, tc int, fns []func(net transport.Net) error) {
+		t.Helper()
+		parties := make([]sim.Party, n)
+		for i := range parties {
+			fn := fns[i]
+			parties[i] = sim.Party{Behavior: func(env *sim.Env) error { return fn(env) }}
+		}
+		if _, err := sim.Run(sim.Config{N: n, T: tc}, parties); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

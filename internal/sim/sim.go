@@ -1,0 +1,393 @@
+// Package sim implements the synchronous network model of Section 2 of the
+// paper: n parties in a fully connected network of authenticated channels,
+// lock-step rounds (every message sent in round r is delivered at the start
+// of round r+1), and a rushing byzantine adversary controlling up to t
+// parties.
+//
+// Every party — honest protocol code and adversarial strategy alike — runs
+// as a goroutine executing sequential code against an *Env. A round closes
+// once every still-active party has submitted its outgoing packets; the
+// scheduler then delivers all packets and wakes everyone. Corrupted parties
+// may call Env.PeekHonest to observe the honest packets of the current round
+// before choosing their own (the rushing adversary).
+//
+// The scheduler also implements the paper's cost measures: BITS_ℓ(Π) — the
+// total payload bits sent by honest parties — broken down by protocol tag,
+// and ROUNDS_ℓ(Π) — the number of completed rounds. Self-addressed packets
+// are delivered but not counted (a party "sending to itself" is free).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Spied is a packet as observed by the rushing adversary: the full routing
+// information of an honest packet in the current, not-yet-delivered round.
+type Spied struct {
+	From    PartyID
+	To      PartyID
+	Payload []byte
+}
+
+// Behavior is the code a party runs: honest protocol logic or an adversarial
+// strategy. It may return an error to abort (honest errors fail the run;
+// corrupt errors are recorded but tolerated).
+type Behavior func(env *Env) error
+
+// Party pairs a behavior with its corruption status.
+type Party struct {
+	Behavior Behavior
+	Corrupt  bool
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// N is the number of parties; T the corruption budget handed to the
+	// protocols (the number of actually corrupted parties may be lower).
+	N int
+	T int
+	// MaxRounds aborts runs that exceed it — a desynchronization bug then
+	// surfaces as an error instead of a hang. 0 means DefaultMaxRounds.
+	MaxRounds int
+	// Timeline, when set, records per-round traffic statistics in
+	// Report.Timeline (at O(rounds) extra memory).
+	Timeline bool
+}
+
+// DefaultMaxRounds is the round cutoff when Config.MaxRounds is zero.
+const DefaultMaxRounds = 200000
+
+// Errors surfaced to behaviors and callers.
+var (
+	ErrSimOver    = errors.New("sim: simulation is over (all honest parties finished)")
+	ErrCutoff     = errors.New("sim: round cutoff exceeded")
+	ErrNotCorrupt = errors.New("sim: PeekHonest is only available to corrupted parties")
+)
+
+// Report summarizes a completed run.
+type Report struct {
+	// Rounds is ROUNDS(Π): the number of completed lock-step rounds.
+	Rounds int
+	// HonestBits is BITS(Π): payload bits sent by honest parties to others.
+	HonestBits int64
+	// CorruptBits counts payload bits sent by corrupted parties.
+	CorruptBits int64
+	// Messages counts non-self packets delivered (honest + corrupt).
+	Messages int64
+	// BitsByTag breaks HonestBits down by packet tag.
+	BitsByTag map[string]int64
+	// BitsByParty is per-party honest sent bits (corrupt entries are 0);
+	// useful for load-balance analysis.
+	BitsByParty []int64
+	// PartyErrors holds each party's returned error (nil if none).
+	PartyErrors []error
+	// Timeline holds per-round statistics when Config.Timeline was set.
+	Timeline []RoundStats
+}
+
+// RoundStats is one round's traffic in a Timeline.
+type RoundStats struct {
+	Round       int
+	Messages    int64
+	HonestBits  int64
+	CorruptBits int64
+}
+
+type runner struct {
+	cfg     Config
+	corrupt []bool
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	round         int
+	active        []bool // party still running
+	activeHonest  int
+	activeTotal   int
+	submitted     []bool
+	pending       [][]Packet // this round's outgoing packets per party
+	honestPending int        // count of active honest parties that submitted
+	lastInbox     [][]Message
+	failed        error // cutoff or internal failure; broadcast to all
+
+	report Report
+}
+
+// Env is a party's handle to the network. Each Env is used by exactly one
+// goroutine.
+type Env struct {
+	r  *runner
+	id PartyID
+}
+
+// ID returns this party's identifier.
+func (e *Env) ID() PartyID { return e.id }
+
+// N returns the total number of parties.
+func (e *Env) N() int { return e.r.cfg.N }
+
+// T returns the protocol's corruption budget t.
+func (e *Env) T() int { return e.r.cfg.T }
+
+// Corrupt reports whether this party is corrupted.
+func (e *Env) Corrupt() bool { return e.r.corrupt[e.id] }
+
+// Run executes one synchronous protocol instance. It returns the cost
+// report; the error aggregates honest-party failures and cutoff violations.
+// Outputs of the protocol are returned through the behavior closures.
+func Run(cfg Config, parties []Party) (*Report, error) {
+	if cfg.N <= 0 || len(parties) != cfg.N {
+		return nil, fmt.Errorf("sim: have %d behaviors for n=%d", len(parties), cfg.N)
+	}
+	if cfg.T < 0 || cfg.T >= cfg.N {
+		return nil, fmt.Errorf("sim: invalid corruption budget t=%d for n=%d", cfg.T, cfg.N)
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	r := &runner{
+		cfg:       cfg,
+		corrupt:   make([]bool, cfg.N),
+		active:    make([]bool, cfg.N),
+		submitted: make([]bool, cfg.N),
+		pending:   make([][]Packet, cfg.N),
+		lastInbox: make([][]Message, cfg.N),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.report.BitsByTag = make(map[string]int64)
+	r.report.BitsByParty = make([]int64, cfg.N)
+	r.report.PartyErrors = make([]error, cfg.N)
+	numCorrupt := 0
+	for i, p := range parties {
+		r.corrupt[i] = p.Corrupt
+		if p.Corrupt {
+			numCorrupt++
+		}
+		r.active[i] = true
+	}
+	r.activeTotal = cfg.N
+	r.activeHonest = cfg.N - numCorrupt
+	if r.activeHonest == 0 {
+		return nil, errors.New("sim: no honest parties")
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(cfg.N)
+	for i := range parties {
+		go func(id PartyID, b Behavior) {
+			defer wg.Done()
+			env := &Env{r: r, id: id}
+			err := runBehavior(b, env)
+			r.done(id, err)
+		}(PartyID(i), parties[i].Behavior)
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var errs []error
+	if r.failed != nil {
+		errs = append(errs, r.failed)
+	}
+	for i, err := range r.report.PartyErrors {
+		if err != nil && !r.corrupt[i] && !errors.Is(err, ErrSimOver) {
+			errs = append(errs, fmt.Errorf("party %d: %w", i, err))
+		}
+	}
+	rep := r.report
+	rep.Rounds = r.round
+	return &rep, errors.Join(errs...)
+}
+
+// runBehavior isolates a behavior's panic into an error so one buggy or
+// byzantine strategy cannot take down the whole simulation.
+func runBehavior(b Behavior, env *Env) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("sim: behavior panicked: %v", rec)
+		}
+	}()
+	return b(env)
+}
+
+// Exchange submits this party's packets for the current round and blocks
+// until the round closes, returning the packets delivered to this party,
+// sorted by sender. Passing an empty slice is how a party participates in a
+// round without sending.
+func (e *Env) Exchange(out []Packet) ([]Message, error) {
+	r := e.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failed != nil {
+		return nil, r.failed
+	}
+	if !r.active[e.id] {
+		return nil, ErrSimOver
+	}
+	if r.activeHonest == 0 {
+		// Only corrupt parties remain; the protocol instance is over.
+		return nil, ErrSimOver
+	}
+	if r.submitted[e.id] {
+		return nil, fmt.Errorf("sim: party %d submitted round %d twice", e.id, r.round)
+	}
+	// Validate destinations; a corrupt party sending out of range is simply
+	// dropped rather than crashing the run.
+	kept := make([]Packet, 0, len(out))
+	for _, p := range out {
+		if p.To >= 0 && int(p.To) < r.cfg.N {
+			kept = append(kept, p)
+		}
+	}
+	r.pending[e.id] = kept
+	r.submitted[e.id] = true
+	if !r.corrupt[e.id] {
+		r.honestPending++
+	}
+	myRound := r.round
+	r.maybeFinishRound()
+	for r.round == myRound && r.failed == nil && r.activeHonest > 0 {
+		r.cond.Wait()
+	}
+	if r.failed != nil {
+		return nil, r.failed
+	}
+	if r.round == myRound {
+		// The last honest party finished while this (necessarily corrupt)
+		// party was waiting; the round will never close.
+		return nil, ErrSimOver
+	}
+	return r.lastInbox[e.id], nil
+}
+
+// PeekHonest implements the rushing adversary: it blocks until every active
+// honest party has submitted the current round, then reveals their packets.
+// Only corrupted parties may call it.
+func (e *Env) PeekHonest() ([]Spied, error) {
+	r := e.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.corrupt[e.id] {
+		return nil, ErrNotCorrupt
+	}
+	for {
+		if r.failed != nil {
+			return nil, r.failed
+		}
+		if r.activeHonest == 0 {
+			return nil, ErrSimOver
+		}
+		if r.honestPending == r.activeHonest && !r.submitted[e.id] {
+			break
+		}
+		if r.submitted[e.id] {
+			// Peeking after submitting this round would deadlock; treat it
+			// as a strategy bug.
+			return nil, fmt.Errorf("sim: party %d peeked after submitting round %d", e.id, r.round)
+		}
+		r.cond.Wait()
+	}
+	var spied []Spied
+	for from := 0; from < r.cfg.N; from++ {
+		if r.corrupt[from] || !r.submitted[from] {
+			continue
+		}
+		for _, p := range r.pending[from] {
+			payload := make([]byte, len(p.Payload))
+			copy(payload, p.Payload)
+			spied = append(spied, Spied{From: PartyID(from), To: p.To, Payload: payload})
+		}
+	}
+	return spied, nil
+}
+
+// done retires a party. Called exactly once per party, after its behavior
+// returns.
+func (r *runner) done(id PartyID, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.report.PartyErrors[id] = err
+	if !r.active[id] {
+		return
+	}
+	r.active[id] = false
+	r.activeTotal--
+	if !r.corrupt[id] {
+		r.activeHonest--
+	}
+	if r.submitted[id] {
+		// Defensive: a behavior cannot return while blocked in Exchange, so
+		// its submission flag should already be clear; reset it anyway.
+		r.submitted[id] = false
+		r.pending[id] = nil
+		if !r.corrupt[id] {
+			r.honestPending--
+		}
+	}
+	r.maybeFinishRound()
+	r.cond.Broadcast() // wake peekers whose honest set shrank, or end the sim
+}
+
+// maybeFinishRound closes the round if every active party has submitted.
+// Caller holds r.mu.
+func (r *runner) maybeFinishRound() {
+	if r.activeTotal == 0 || r.activeHonest == 0 {
+		return
+	}
+	count := 0
+	for id, sub := range r.submitted {
+		if sub && r.active[id] {
+			count++
+		}
+	}
+	if count < r.activeTotal {
+		if r.honestPending == r.activeHonest {
+			r.cond.Broadcast() // honest wave complete: release peekers
+		}
+		return
+	}
+	// Deliver: group packets by recipient, ordered by sender.
+	inboxes := make([][]Message, r.cfg.N)
+	var stats RoundStats
+	for from := 0; from < r.cfg.N; from++ {
+		if !r.submitted[from] {
+			continue
+		}
+		for _, p := range r.pending[from] {
+			bits := int64(8 * len(p.Payload))
+			if p.To != PartyID(from) {
+				r.report.Messages++
+				stats.Messages++
+				if r.corrupt[from] {
+					r.report.CorruptBits += bits
+					stats.CorruptBits += bits
+				} else {
+					r.report.HonestBits += bits
+					r.report.BitsByTag[p.Tag] += bits
+					r.report.BitsByParty[from] += bits
+					stats.HonestBits += bits
+				}
+			}
+			inboxes[p.To] = append(inboxes[p.To], Message{From: PartyID(from), Payload: p.Payload})
+		}
+		r.pending[from] = nil
+		r.submitted[from] = false
+	}
+	if r.cfg.Timeline {
+		stats.Round = r.round
+		r.report.Timeline = append(r.report.Timeline, stats)
+	}
+	for to := range inboxes {
+		sort.SliceStable(inboxes[to], func(i, j int) bool { return inboxes[to][i].From < inboxes[to][j].From })
+	}
+	r.honestPending = 0
+	r.lastInbox = inboxes
+	r.round++
+	if r.round > r.cfg.MaxRounds {
+		r.failed = fmt.Errorf("%w: %d rounds", ErrCutoff, r.round)
+	}
+	r.cond.Broadcast()
+}

@@ -1,0 +1,31 @@
+package tcpnet_test
+
+import (
+	"sync"
+	"testing"
+
+	"convexagreement/internal/transport"
+	"convexagreement/internal/transporttest"
+)
+
+func TestConformance(t *testing.T) {
+	transporttest.Conformance(t, func(t *testing.T, n, tc int, fns []func(net transport.Net) error) {
+		t.Helper()
+		conns := dialAll(t, newCluster(t, n, tc))
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = fns[i](conns[i])
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("party %d: %v", i, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,440 @@
+// Package tcpnet implements the synchronous network abstraction
+// (transport.Net) over real TCP connections, so every protocol in this
+// library runs unchanged across processes and machines.
+//
+// The paper's synchronous model (§2) assumes authenticated channels and a
+// publicly known message-delay bound Δ. This transport realizes it the way
+// deployed synchronous protocols do: the n parties form a full mesh of TCP
+// connections (the connection itself standing in for the model's
+// authenticated channel), every party sends every peer exactly one frame
+// per round (possibly empty), and a round closes when frames for it have
+// arrived from all peers or after the Δ timeout — a peer that misses Δ is
+// treated as silent for that round, exactly the adversary's omission power.
+//
+// There is no cost accounting here (BITS/ROUNDS measurements live in the
+// simulator); this transport exists to demonstrate and test deployment.
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"convexagreement/internal/transport"
+	"convexagreement/internal/wire"
+)
+
+// Config describes one party's view of the cluster.
+type Config struct {
+	// ID is this party's index into Addrs.
+	ID int
+	// Addrs lists all n parties' listen addresses, in party order.
+	Addrs []string
+	// T is the corruption budget handed to protocols (t < n/3).
+	T int
+	// Delta is the synchrony bound: how long Exchange waits for the
+	// round's frames before declaring missing peers silent. Default 2s.
+	Delta time.Duration
+	// DialTimeout bounds mesh establishment. Default 10s.
+	DialTimeout time.Duration
+	// Listener optionally supplies a pre-bound listener for Addrs[ID]
+	// (tests bind port 0 first and pass the resolved listener in).
+	Listener net.Listener
+}
+
+// Errors returned by the transport.
+var (
+	ErrClosed = errors.New("tcpnet: connection closed")
+	ErrConfig = errors.New("tcpnet: invalid config")
+)
+
+// maxFrame bounds a single round frame from one peer (64 MiB).
+const maxFrame = 64 << 20
+
+// Conn is one party's handle to the TCP mesh. It implements transport.Net.
+type Conn struct {
+	cfg   Config
+	n     int
+	peers []net.Conn // index by party id; nil at own id
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	byRound map[uint64]map[int][]transport.Message
+	round   uint64
+	closed  bool
+	readErr map[int]error
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Net = (*Conn)(nil)
+
+// Dial establishes the full mesh and returns when every pairwise connection
+// is up. Every party must call Dial with a consistent Config; party i
+// accepts connections from parties j > i and dials parties j < i.
+func Dial(cfg Config) (*Conn, error) {
+	n := len(cfg.Addrs)
+	if n == 0 || cfg.ID < 0 || cfg.ID >= n {
+		return nil, fmt.Errorf("%w: id %d of %d addrs", ErrConfig, cfg.ID, n)
+	}
+	if cfg.T < 0 || (n > 1 && cfg.T >= n) {
+		return nil, fmt.Errorf("%w: t=%d for n=%d", ErrConfig, cfg.T, n)
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 2 * time.Second
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	c := &Conn{
+		cfg:     cfg,
+		n:       n,
+		peers:   make([]net.Conn, n),
+		byRound: make(map[uint64]map[int][]transport.Message),
+		readErr: make(map[int]error),
+	}
+	c.cond = sync.NewCond(&c.mu)
+
+	ln := cfg.Listener
+	if ln == nil && cfg.ID < n-1 { // parties with higher-numbered peers must listen
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addrs[cfg.ID])
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.Addrs[cfg.ID], err)
+		}
+	}
+	deadline := time.Now().Add(cfg.DialTimeout)
+
+	// Accept from higher ids.
+	var acceptErr error
+	var acceptWG sync.WaitGroup
+	expect := n - 1 - cfg.ID
+	if expect > 0 {
+		acceptWG.Add(1)
+		go func() {
+			defer acceptWG.Done()
+			for got := 0; got < expect; got++ {
+				if d, ok := ln.(*net.TCPListener); ok {
+					if err := d.SetDeadline(deadline); err != nil {
+						acceptErr = err
+						return
+					}
+				}
+				conn, err := ln.Accept()
+				if err != nil {
+					acceptErr = err
+					return
+				}
+				// Handshake: the dialer announces its id.
+				id, err := readHandshake(conn, deadline)
+				if err != nil || id <= cfg.ID || id >= n || c.peers[id] != nil {
+					conn.Close()
+					got--
+					continue
+				}
+				c.peers[id] = conn
+			}
+		}()
+	}
+
+	// Dial lower ids (with retries while their listeners come up).
+	for j := 0; j < cfg.ID; j++ {
+		var conn net.Conn
+		var err error
+		for time.Now().Before(deadline) {
+			conn, err = net.DialTimeout("tcp", cfg.Addrs[j], time.Until(deadline))
+			if err == nil {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if err != nil {
+			c.closePeers()
+			return nil, fmt.Errorf("tcpnet: dial party %d at %s: %w", j, cfg.Addrs[j], err)
+		}
+		if err := writeHandshake(conn, cfg.ID, deadline); err != nil {
+			conn.Close()
+			c.closePeers()
+			return nil, fmt.Errorf("tcpnet: handshake with party %d: %w", j, err)
+		}
+		c.peers[j] = conn
+	}
+	acceptWG.Wait()
+	if ln != nil && cfg.Listener == nil {
+		ln.Close() // mesh complete; tests own their passed-in listeners
+	}
+	if acceptErr != nil {
+		c.closePeers()
+		return nil, fmt.Errorf("tcpnet: accepting peers: %w", acceptErr)
+	}
+	for j := 0; j < n; j++ {
+		if j != cfg.ID && c.peers[j] == nil {
+			c.closePeers()
+			return nil, fmt.Errorf("tcpnet: no connection to party %d", j)
+		}
+	}
+	// One reader goroutine per peer.
+	for j := 0; j < n; j++ {
+		if j == cfg.ID {
+			continue
+		}
+		c.wg.Add(1)
+		go c.readLoop(j)
+	}
+	return c, nil
+}
+
+// ID returns this party's identifier.
+func (c *Conn) ID() transport.PartyID { return transport.PartyID(c.cfg.ID) }
+
+// N returns the cluster size.
+func (c *Conn) N() int { return c.n }
+
+// T returns the corruption budget.
+func (c *Conn) T() int { return c.cfg.T }
+
+// Exchange implements one synchronous round: it ships this round's packets
+// to every peer (an empty frame to peers with none), waits up to Delta for
+// all peers' frames, and returns the delivered messages sorted by sender.
+func (c *Conn) Exchange(out []transport.Packet) ([]transport.Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	r := c.round
+	c.mu.Unlock()
+
+	// Group payloads per destination.
+	perDest := make([][][]byte, c.n)
+	for _, p := range out {
+		if p.To < 0 || int(p.To) >= c.n {
+			continue
+		}
+		perDest[p.To] = append(perDest[p.To], p.Payload)
+	}
+	var selfMsgs []transport.Message
+	for _, payload := range perDest[c.cfg.ID] {
+		selfMsgs = append(selfMsgs, transport.Message{From: transport.PartyID(c.cfg.ID), Payload: payload})
+	}
+	for j := 0; j < c.n; j++ {
+		if j == c.cfg.ID {
+			continue
+		}
+		if err := c.writeFrame(j, r, perDest[j]); err != nil {
+			// A broken peer link is that peer's problem (it becomes
+			// silent); keep the round going for everyone else.
+			continue
+		}
+	}
+
+	deadline := time.Now().Add(c.cfg.Delta)
+	timer := time.AfterFunc(c.cfg.Delta, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return nil, ErrClosed
+		}
+		have := len(c.byRound[r])
+		if have >= c.expectedPeers() || time.Now().After(deadline) {
+			break
+		}
+		c.cond.Wait()
+	}
+	msgs := append([]transport.Message{}, selfMsgs...)
+	for _, peerMsgs := range c.byRound[r] {
+		msgs = append(msgs, peerMsgs...)
+	}
+	delete(c.byRound, r)
+	c.round = r + 1
+	sortMessages(msgs)
+	return msgs, nil
+}
+
+// expectedPeers counts peers that have not failed permanently. Caller holds
+// c.mu.
+func (c *Conn) expectedPeers() int {
+	return c.n - 1 - len(c.readErr)
+}
+
+// Close tears down the mesh.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.closePeers()
+	c.wg.Wait()
+	return nil
+}
+
+func (c *Conn) closePeers() {
+	for _, p := range c.peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+}
+
+func (c *Conn) readLoop(peer int) {
+	defer c.wg.Done()
+	conn := c.peers[peer]
+	for {
+		round, payloads, err := readFrame(conn)
+		c.mu.Lock()
+		if err != nil {
+			c.readErr[peer] = err
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		if round >= c.round { // frames for completed rounds are stale
+			msgs := make([]transport.Message, 0, len(payloads))
+			for _, p := range payloads {
+				msgs = append(msgs, transport.Message{From: transport.PartyID(peer), Payload: p})
+			}
+			if c.byRound[round] == nil {
+				c.byRound[round] = make(map[int][]transport.Message)
+			}
+			if _, dup := c.byRound[round][peer]; !dup {
+				c.byRound[round][peer] = msgs
+			}
+			c.cond.Broadcast()
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *Conn) writeFrame(peer int, round uint64, payloads [][]byte) error {
+	size := 16
+	for _, p := range payloads {
+		size += len(p) + 4
+	}
+	w := wire.NewWriter(size)
+	w.Uvarint(round)
+	w.Uvarint(uint64(len(payloads)))
+	for _, p := range payloads {
+		w.Bytes(p)
+	}
+	body := w.Finish()
+	hdr := wire.NewWriter(8)
+	hdr.Uvarint(uint64(len(body)))
+	conn := c.peers[peer]
+	if err := conn.SetWriteDeadline(time.Now().Add(c.cfg.Delta)); err != nil {
+		return err
+	}
+	if _, err := conn.Write(hdr.Finish()); err != nil {
+		return err
+	}
+	_, err := conn.Write(body)
+	return err
+}
+
+func readFrame(conn net.Conn) (uint64, [][]byte, error) {
+	size, err := readUvarint(conn)
+	if err != nil {
+		return 0, nil, err
+	}
+	if size > maxFrame {
+		return 0, nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", size)
+	}
+	body := make([]byte, size)
+	if err := readFull(conn, body); err != nil {
+		return 0, nil, err
+	}
+	r := wire.NewReader(body)
+	round := r.Uvarint()
+	count := r.Int()
+	if r.Err() != nil || count > 1<<20 {
+		return 0, nil, fmt.Errorf("tcpnet: malformed frame")
+	}
+	payloads := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		payloads = append(payloads, r.Bytes())
+	}
+	if err := r.Close(); err != nil {
+		return 0, nil, err
+	}
+	return round, payloads, nil
+}
+
+func readUvarint(conn net.Conn) (uint64, error) {
+	var v uint64
+	var shift uint
+	buf := make([]byte, 1)
+	for i := 0; i < 10; i++ {
+		if err := readFull(conn, buf); err != nil {
+			return 0, err
+		}
+		b := buf[0]
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+	return 0, fmt.Errorf("tcpnet: overlong varint")
+}
+
+func readFull(conn net.Conn, buf []byte) error {
+	for off := 0; off < len(buf); {
+		m, err := conn.Read(buf[off:])
+		if err != nil {
+			return err
+		}
+		off += m
+	}
+	return nil
+}
+
+func writeHandshake(conn net.Conn, id int, deadline time.Time) error {
+	if err := conn.SetWriteDeadline(deadline); err != nil {
+		return err
+	}
+	w := wire.NewWriter(4)
+	w.Uvarint(uint64(id))
+	_, err := conn.Write(w.Finish())
+	if err == nil {
+		err = conn.SetWriteDeadline(time.Time{})
+	}
+	return err
+}
+
+func readHandshake(conn net.Conn, deadline time.Time) (int, error) {
+	if err := conn.SetReadDeadline(deadline); err != nil {
+		return 0, err
+	}
+	v, err := readUvarint(conn)
+	if err != nil {
+		return 0, err
+	}
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		return 0, err
+	}
+	if v > 1<<20 {
+		return 0, fmt.Errorf("tcpnet: absurd peer id %d", v)
+	}
+	return int(v), nil
+}
+
+func sortMessages(msgs []transport.Message) {
+	// Insertion sort: inboxes are small and mostly ordered.
+	for i := 1; i < len(msgs); i++ {
+		for j := i; j > 0 && msgs[j].From < msgs[j-1].From; j-- {
+			msgs[j], msgs[j-1] = msgs[j-1], msgs[j]
+		}
+	}
+}

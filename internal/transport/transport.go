@@ -1,0 +1,85 @@
+// Package transport defines the synchronous-network abstraction that every
+// protocol in this library is written against.
+//
+// The paper's model (§2) gives each party an authenticated channel to every
+// other party and lock-step rounds: all messages sent in round r arrive at
+// the start of round r+1. A Net provides exactly that as a blocking
+// Exchange call. Two implementations exist: the in-process simulator with
+// byzantine adversaries and cost accounting (package sim), and a real TCP
+// deployment with Δ-timeout round synchronization (package tcpnet).
+package transport
+
+// PartyID identifies a party; parties are numbered 0..n-1.
+type PartyID int
+
+// Packet is an outgoing message: a payload addressed to one party, labelled
+// with a protocol tag for cost attribution (tags are metadata; they are not
+// transmitted semantics).
+type Packet struct {
+	To      PartyID
+	Tag     string
+	Payload []byte
+}
+
+// Message is a delivered packet. From is trustworthy: channels are
+// authenticated, so a byzantine party cannot spoof its identity.
+type Message struct {
+	From    PartyID
+	Payload []byte
+}
+
+// Net is one party's handle to the synchronous network.
+//
+// Exchange submits the party's packets for the current round and blocks
+// until the round closes, returning the packets delivered to this party
+// sorted by sender. Every party must call Exchange once per round (with an
+// empty slice to stay silent); the paper's protocols guarantee all honest
+// parties take identical control-flow branches, which keeps the round
+// schedule aligned.
+type Net interface {
+	// ID returns this party's identifier (0-based).
+	ID() PartyID
+	// N returns the total number of parties.
+	N() int
+	// T returns the protocol's corruption budget t (t < n/3 for every
+	// protocol in this library).
+	T() int
+	// Exchange completes one synchronous round.
+	Exchange(out []Packet) ([]Message, error)
+}
+
+// Broadcast builds packets carrying payload to every party, including the
+// sender itself (self-delivery is free in the cost model but keeps protocol
+// code uniform: a party's own value is just another received value).
+func Broadcast(net Net, tag string, payload []byte) []Packet {
+	out := make([]Packet, net.N())
+	for i := range out {
+		out[i] = Packet{To: PartyID(i), Tag: tag, Payload: payload}
+	}
+	return out
+}
+
+// ExchangeAll broadcasts payload and completes the round.
+func ExchangeAll(net Net, tag string, payload []byte) ([]Message, error) {
+	return net.Exchange(Broadcast(net, tag, payload))
+}
+
+// ExchangeNone participates in a round without sending anything.
+func ExchangeNone(net Net) ([]Message, error) {
+	return net.Exchange(nil)
+}
+
+// FirstPerSender reduces an inbox to at most one payload per sender: the
+// first message each party sent this round. This models the synchronous
+// abstraction "the value received from P_j" — byzantine parties that spam
+// several conflicting messages over one authenticated channel in one round
+// get exactly one of them considered, deterministically.
+func FirstPerSender(msgs []Message) map[PartyID][]byte {
+	out := make(map[PartyID][]byte, len(msgs))
+	for _, m := range msgs {
+		if _, ok := out[m.From]; !ok {
+			out[m.From] = m.Payload
+		}
+	}
+	return out
+}

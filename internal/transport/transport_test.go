@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+)
+
+// fakeNet records what Exchange receives and returns a canned inbox.
+type fakeNet struct {
+	id      PartyID
+	n, t    int
+	lastOut []Packet
+	inbox   []Message
+	err     error
+}
+
+func (f *fakeNet) ID() PartyID { return f.id }
+func (f *fakeNet) N() int      { return f.n }
+func (f *fakeNet) T() int      { return f.t }
+func (f *fakeNet) Exchange(out []Packet) ([]Message, error) {
+	f.lastOut = out
+	return f.inbox, f.err
+}
+
+func TestBroadcastAddressesEveryParty(t *testing.T) {
+	net := &fakeNet{id: 2, n: 5, t: 1}
+	pkts := Broadcast(net, "tag", []byte{7})
+	if len(pkts) != 5 {
+		t.Fatalf("%d packets", len(pkts))
+	}
+	seen := map[PartyID]bool{}
+	for _, p := range pkts {
+		if p.Tag != "tag" || len(p.Payload) != 1 || p.Payload[0] != 7 {
+			t.Fatalf("bad packet %+v", p)
+		}
+		seen[p.To] = true
+	}
+	for i := 0; i < 5; i++ {
+		if !seen[PartyID(i)] {
+			t.Fatalf("party %d not addressed", i)
+		}
+	}
+}
+
+func TestExchangeAllAndNone(t *testing.T) {
+	net := &fakeNet{id: 0, n: 3, inbox: []Message{{From: 1, Payload: []byte{9}}}}
+	in, err := ExchangeAll(net, "x", []byte{1})
+	if err != nil || len(in) != 1 {
+		t.Fatalf("in=%v err=%v", in, err)
+	}
+	if len(net.lastOut) != 3 {
+		t.Fatalf("ExchangeAll sent %d packets", len(net.lastOut))
+	}
+	if _, err := ExchangeNone(net); err != nil {
+		t.Fatal(err)
+	}
+	if net.lastOut != nil {
+		t.Fatalf("ExchangeNone sent %d packets", len(net.lastOut))
+	}
+	boom := errors.New("boom")
+	net.err = boom
+	if _, err := ExchangeAll(net, "x", nil); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestFirstPerSenderKeepsFirst(t *testing.T) {
+	msgs := []Message{
+		{From: 3, Payload: []byte{1}},
+		{From: 1, Payload: []byte{2}},
+		{From: 3, Payload: []byte{3}},
+		{From: 1, Payload: []byte{4}},
+	}
+	got := FirstPerSender(msgs)
+	if len(got) != 2 || got[3][0] != 1 || got[1][0] != 2 {
+		t.Fatalf("FirstPerSender = %v", got)
+	}
+	if len(FirstPerSender(nil)) != 0 {
+		t.Fatal("empty inbox mishandled")
+	}
+}

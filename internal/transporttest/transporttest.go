@@ -1,0 +1,186 @@
+// Package transporttest provides a conformance battery for transport.Net
+// implementations. All three transports in this repository — the
+// adversarial simulator (sim), the TCP mesh (tcpnet), and the in-process
+// hub (channet) — run the same battery, so a protocol that works on one is
+// guaranteed the same round semantics on the others.
+package transporttest
+
+import (
+	"fmt"
+	"testing"
+
+	"convexagreement/internal/transport"
+)
+
+// Cluster runs n party functions over a fresh connected transport instance
+// and blocks until all return, propagating errors. Each implementation
+// provides one.
+type Cluster func(t *testing.T, n, tc int, fns []func(net transport.Net) error)
+
+// Conformance runs the full contract battery against the given cluster
+// runner.
+func Conformance(t *testing.T, run Cluster) {
+	t.Run("identity", func(t *testing.T) { testIdentity(t, run) })
+	t.Run("all-to-all", func(t *testing.T) { testAllToAll(t, run) })
+	t.Run("empty-rounds", func(t *testing.T) { testEmptyRounds(t, run) })
+	t.Run("ordering", func(t *testing.T) { testOrdering(t, run) })
+	t.Run("self-delivery", func(t *testing.T) { testSelfDelivery(t, run) })
+	t.Run("out-of-range-drop", func(t *testing.T) { testOutOfRange(t, run) })
+	t.Run("unicast", func(t *testing.T) { testUnicast(t, run) })
+}
+
+// testIdentity: ID/N/T must be consistent and stable.
+func testIdentity(t *testing.T, run Cluster) {
+	const n, tc = 4, 1
+	fns := make([]func(net transport.Net) error, n)
+	for i := 0; i < n; i++ {
+		want := transport.PartyID(i)
+		fns[i] = func(net transport.Net) error {
+			if net.ID() != want || net.N() != n || net.T() != tc {
+				return fmt.Errorf("identity: id=%d n=%d t=%d", net.ID(), net.N(), net.T())
+			}
+			return nil
+		}
+	}
+	run(t, n, tc, fns)
+}
+
+// testAllToAll: every broadcast arrives exactly once per recipient, sorted
+// by authenticated sender.
+func testAllToAll(t *testing.T, run Cluster) {
+	const n, tc, rounds = 5, 1, 3
+	fns := make([]func(net transport.Net) error, n)
+	for i := 0; i < n; i++ {
+		fns[i] = func(net transport.Net) error {
+			for r := 0; r < rounds; r++ {
+				in, err := transport.ExchangeAll(net, "c", []byte{byte(net.ID()), byte(r)})
+				if err != nil {
+					return err
+				}
+				if len(in) != n {
+					return fmt.Errorf("round %d: %d messages, want %d", r, len(in), n)
+				}
+				for j, m := range in {
+					if int(m.From) != j {
+						return fmt.Errorf("round %d: message %d from %d (not sorted or duplicated)", r, j, m.From)
+					}
+					if len(m.Payload) != 2 || int(m.Payload[0]) != j || int(m.Payload[1]) != r {
+						return fmt.Errorf("round %d: wrong payload %v from %d", r, m.Payload, j)
+					}
+				}
+			}
+			return nil
+		}
+	}
+	run(t, n, tc, fns)
+}
+
+// testEmptyRounds: silent rounds still close.
+func testEmptyRounds(t *testing.T, run Cluster) {
+	const n = 3
+	fns := make([]func(net transport.Net) error, n)
+	for i := 0; i < n; i++ {
+		fns[i] = func(net transport.Net) error {
+			for r := 0; r < 4; r++ {
+				in, err := transport.ExchangeNone(net)
+				if err != nil {
+					return err
+				}
+				if len(in) != 0 {
+					return fmt.Errorf("round %d: %d unexpected messages", r, len(in))
+				}
+			}
+			return nil
+		}
+	}
+	run(t, n, 0, fns)
+}
+
+// testOrdering: messages sent in round r arrive in round r, never earlier
+// or later.
+func testOrdering(t *testing.T, run Cluster) {
+	const n, rounds = 2, 10
+	fns := make([]func(net transport.Net) error, n)
+	for i := 0; i < n; i++ {
+		fns[i] = func(net transport.Net) error {
+			for r := 0; r < rounds; r++ {
+				in, err := transport.ExchangeAll(net, "o", []byte{byte(r)})
+				if err != nil {
+					return err
+				}
+				for _, m := range in {
+					if int(m.Payload[0]) != r {
+						return fmt.Errorf("round %d received round-%d payload", r, m.Payload[0])
+					}
+				}
+			}
+			return nil
+		}
+	}
+	run(t, n, 0, fns)
+}
+
+// testSelfDelivery: a packet addressed to the sender is delivered locally.
+func testSelfDelivery(t *testing.T, run Cluster) {
+	const n = 3
+	fns := make([]func(net transport.Net) error, n)
+	for i := 0; i < n; i++ {
+		fns[i] = func(net transport.Net) error {
+			out := []transport.Packet{{To: net.ID(), Tag: "s", Payload: []byte{0x55}}}
+			in, err := net.Exchange(out)
+			if err != nil {
+				return err
+			}
+			if len(in) != 1 || in[0].From != net.ID() || in[0].Payload[0] != 0x55 {
+				return fmt.Errorf("self delivery got %v", in)
+			}
+			return nil
+		}
+	}
+	run(t, n, 0, fns)
+}
+
+// testOutOfRange: packets to nonexistent parties are dropped, not fatal.
+func testOutOfRange(t *testing.T, run Cluster) {
+	const n = 2
+	fns := make([]func(net transport.Net) error, n)
+	for i := 0; i < n; i++ {
+		fns[i] = func(net transport.Net) error {
+			out := []transport.Packet{
+				{To: -1, Tag: "x", Payload: []byte{1}},
+				{To: transport.PartyID(n + 5), Tag: "x", Payload: []byte{2}},
+			}
+			in, err := net.Exchange(out)
+			if err != nil {
+				return err
+			}
+			if len(in) != 0 {
+				return fmt.Errorf("out-of-range packets delivered: %v", in)
+			}
+			return nil
+		}
+	}
+	run(t, n, 0, fns)
+}
+
+// testUnicast: point-to-point packets reach only their recipient.
+func testUnicast(t *testing.T, run Cluster) {
+	const n = 4
+	fns := make([]func(net transport.Net) error, n)
+	for i := 0; i < n; i++ {
+		fns[i] = func(net transport.Net) error {
+			// Everyone sends one packet to party (id+1) mod n.
+			to := transport.PartyID((int(net.ID()) + 1) % n)
+			in, err := net.Exchange([]transport.Packet{{To: to, Tag: "u", Payload: []byte{byte(net.ID())}}})
+			if err != nil {
+				return err
+			}
+			wantFrom := transport.PartyID((int(net.ID()) + n - 1) % n)
+			if len(in) != 1 || in[0].From != wantFrom || in[0].Payload[0] != byte(wantFrom) {
+				return fmt.Errorf("unicast got %v, want from %d", in, wantFrom)
+			}
+			return nil
+		}
+	}
+	run(t, n, 0, fns)
+}

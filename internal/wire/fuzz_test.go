@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader drives a representative decode schedule over arbitrary bytes:
+// the Reader must never panic and must fail closed.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	w := NewWriter(32)
+	w.Byte(3)
+	w.Uvarint(1 << 40)
+	w.Bytes([]byte("seed"))
+	f.Add(w.Finish())
+	f.Add(bytes.Repeat([]byte{0xff}, 24))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r := NewReader(raw)
+		r.Byte()
+		n := r.Uvarint()
+		b := r.Bytes()
+		if r.Err() == nil && uint64(len(b)) > n+64 {
+			// Bytes length is bounded by its own prefix, not the earlier
+			// uvarint; this is just a sanity anchor for the fuzzer.
+			_ = b
+		}
+		r.Int()
+		r.Raw(3)
+		_ = r.Close()
+	})
+}
+
+// FuzzRoundTrip checks encode∘decode identity on fuzzer-chosen field
+// values.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(byte(1), uint64(77), []byte("abc"))
+	f.Fuzz(func(t *testing.T, b byte, v uint64, chunk []byte) {
+		w := NewWriter(16 + len(chunk))
+		w.Byte(b)
+		w.Uvarint(v)
+		w.Bytes(chunk)
+		r := NewReader(w.Finish())
+		if got := r.Byte(); got != b {
+			t.Fatalf("byte %d != %d", got, b)
+		}
+		if got := r.Uvarint(); got != v {
+			t.Fatalf("uvarint %d != %d", got, v)
+		}
+		if got := r.Bytes(); !bytes.Equal(got, chunk) {
+			t.Fatalf("bytes %v != %v", got, chunk)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

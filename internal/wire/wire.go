@@ -1,0 +1,159 @@
+// Package wire provides a compact, deterministic, panic-free binary codec
+// for protocol messages.
+//
+// Every protocol message in this codebase is encoded with a Writer and
+// decoded with a Reader. Readers never panic and fail closed: any
+// truncation, overflow, or trailing garbage yields an error, so byzantine
+// payloads can at worst be ignored, never crash an honest party or smuggle
+// an inconsistent parse.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt reports a malformed encoding.
+var ErrCorrupt = errors.New("wire: corrupt message")
+
+// maxChunk bounds any single length-prefixed field (64 MiB). Honest messages
+// are far smaller; the bound stops byzantine length fields from causing
+// giant allocations.
+const maxChunk = 64 << 20
+
+// Writer accumulates an encoded message.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given capacity hint.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// Byte appends a single byte.
+func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) Bytes(p []byte) {
+	w.Uvarint(uint64(len(p)))
+	w.buf = append(w.buf, p...)
+}
+
+// Raw appends bytes with no length prefix (for fixed-size fields).
+func (w *Writer) Raw(p []byte) { w.buf = append(w.buf, p...) }
+
+// Finish returns the encoded message.
+func (w *Writer) Finish() []byte { return w.buf }
+
+// Reader decodes a message produced by Writer.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps raw bytes for decoding.
+func NewReader(raw []byte) *Reader { return &Reader{buf: raw} }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Byte reads one byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("truncated byte")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("truncated or overlong uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Bytes reads a length-prefixed byte slice. The result is a fresh copy, so
+// callers may retain it without pinning the whole message buffer.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxChunk || int(n) > len(r.buf)-r.off {
+		r.fail("chunk of %d bytes exceeds message", n)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out
+}
+
+// Raw reads exactly n bytes with no length prefix.
+func (r *Reader) Raw(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.buf)-r.off {
+		r.fail("truncated raw field of %d bytes", n)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+n])
+	r.off += n
+	return out
+}
+
+// Int reads a uvarint and narrows it to a non-negative int, failing on
+// overflow.
+func (r *Reader) Int() int {
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > 1<<31 {
+		r.fail("integer field %d too large", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Close verifies the whole message was consumed and returns the first error.
+// Trailing garbage is rejected so two honest parties can never parse the
+// same bytes into different messages.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf)-r.off)
+	}
+	return nil
+}

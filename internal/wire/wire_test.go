@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.Byte(7)
+	w.Uvarint(0)
+	w.Uvarint(1 << 40)
+	w.Bytes([]byte("hello"))
+	w.Bytes(nil)
+	w.Raw([]byte{1, 2, 3})
+	raw := w.Finish()
+
+	r := NewReader(raw)
+	if got := r.Byte(); got != 7 {
+		t.Errorf("byte = %d", got)
+	}
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<40 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("bytes = %q", got)
+	}
+	if got := r.Bytes(); len(got) != 0 {
+		t.Errorf("empty bytes = %q", got)
+	}
+	if got := r.Raw(3); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("raw = %v", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+func TestTruncations(t *testing.T) {
+	w := NewWriter(0)
+	w.Bytes([]byte("abcdef"))
+	raw := w.Finish()
+	for cut := 0; cut < len(raw); cut++ {
+		r := NewReader(raw[:cut])
+		r.Bytes()
+		if err := r.Close(); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestTrailingGarbageRejected(t *testing.T) {
+	w := NewWriter(0)
+	w.Byte(1)
+	raw := append(w.Finish(), 0xee)
+	r := NewReader(raw)
+	r.Byte()
+	if err := r.Close(); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestHugeLengthRejected(t *testing.T) {
+	w := NewWriter(0)
+	w.Uvarint(1 << 62) // bogus length prefix
+	r := NewReader(w.Finish())
+	if got := r.Bytes(); got != nil {
+		t.Errorf("got %d bytes from bogus prefix", len(got))
+	}
+	if r.Err() == nil {
+		t.Error("huge length accepted")
+	}
+	r2 := NewReader(w.Finish())
+	if r2.Int(); r2.Err() == nil {
+		t.Error("huge int accepted")
+	}
+}
+
+func TestErrorsSticky(t *testing.T) {
+	r := NewReader(nil)
+	r.Byte() // fails
+	if r.Err() == nil {
+		t.Fatal("expected error")
+	}
+	// Subsequent reads must be inert.
+	if r.Byte() != 0 || r.Uvarint() != 0 || r.Bytes() != nil || r.Raw(2) != nil || r.Int() != 0 {
+		t.Error("reads after error returned data")
+	}
+}
+
+func TestRawBounds(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	if r.Raw(-1) != nil || r.Err() == nil {
+		t.Error("negative raw accepted")
+	}
+	r2 := NewReader([]byte{1, 2})
+	if r2.Raw(3) != nil || r2.Err() == nil {
+		t.Error("overlong raw accepted")
+	}
+}
+
+func TestBytesCopyIsIndependent(t *testing.T) {
+	w := NewWriter(0)
+	w.Bytes([]byte{9, 9, 9})
+	raw := w.Finish()
+	r := NewReader(raw)
+	got := r.Bytes()
+	raw[len(raw)-1] = 0
+	if got[2] != 9 {
+		t.Error("decoded bytes alias the input buffer")
+	}
+}
+
+func TestFuzzRandomBytesNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 2000; trial++ {
+		raw := make([]byte, rng.Intn(64))
+		rng.Read(raw)
+		r := NewReader(raw)
+		// A representative decode schedule.
+		r.Byte()
+		r.Uvarint()
+		r.Bytes()
+		r.Int()
+		r.Raw(4)
+		_ = r.Close()
+	}
+}

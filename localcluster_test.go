@@ -1,0 +1,53 @@
+package convexagreement_test
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+
+	ca "convexagreement"
+)
+
+func TestLocalClusterSessions(t *testing.T) {
+	const n = 4
+	cluster, err := ca.NewLocalCluster(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := ints(3, -8, 12, 5)
+	outputs := make([]*big.Int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer cluster[i].Close()
+			s := ca.NewSession(cluster[i])
+			outputs[i], errs[i] = s.Agree(ca.ProtoOptimal, 0, inputs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("party %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if outputs[i].Cmp(outputs[0]) != 0 {
+			t.Fatalf("disagreement: %v vs %v", outputs[i], outputs[0])
+		}
+	}
+	if !ca.InHull(outputs[0], inputs) {
+		t.Fatalf("output %v outside hull", outputs[0])
+	}
+}
+
+func TestLocalClusterValidation(t *testing.T) {
+	if _, err := ca.NewLocalCluster(0, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ca.NewLocalCluster(6, 2); err == nil {
+		t.Error("3t >= n accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package convexagreement
+
+import (
+	"fmt"
+	"math/big"
+
+	"convexagreement/internal/aa"
+)
+
+// Session runs a sequence of agreement instances over one long-lived
+// transport — the shape real deployments need (a price oracle publishing
+// every epoch, a clock network timestamping every block). Instances run
+// back-to-back in the synchronous schedule: every party must call the same
+// methods in the same order, which the transport's lock-step rounds then
+// align automatically.
+type Session struct {
+	tr  Transport
+	seq uint64
+}
+
+// NewSession wraps a connected transport.
+func NewSession(tr Transport) *Session {
+	return &Session{tr: tr}
+}
+
+// Seq returns the number of instances completed so far.
+func (s *Session) Seq() uint64 { return s.seq }
+
+// Agree runs the next Convex Agreement instance of the session.
+func (s *Session) Agree(protocol Protocol, width int, input *big.Int) (*big.Int, error) {
+	out, err := RunParty(s.tr, protocol, width, input)
+	if err != nil {
+		return nil, fmt.Errorf("session instance %d: %w", s.seq, err)
+	}
+	s.seq++
+	return out, nil
+}
+
+// ApproxAgree runs the next synchronous Approximate Agreement instance of
+// the session (see ApproxAgree for the parameter semantics).
+func (s *Session) ApproxAgree(input, diameterBound, epsilon *big.Int) (*big.Int, error) {
+	out, err := RunPartyApprox(s.tr, input, diameterBound, epsilon)
+	if err != nil {
+		return nil, fmt.Errorf("session instance %d: %w", s.seq, err)
+	}
+	s.seq++
+	return out, nil
+}
+
+// RunPartyApprox executes one party's side of synchronous Approximate
+// Agreement over the given transport; the deployment counterpart of
+// ApproxAgree.
+func RunPartyApprox(tr Transport, input, diameterBound, epsilon *big.Int) (*big.Int, error) {
+	if input == nil || input.Sign() < 0 {
+		return nil, fmt.Errorf("%w: input must be a natural number", ErrOptions)
+	}
+	return aa.Run(netAdapter{tr}, "aa", input, diameterBound, epsilon)
+}

@@ -1,0 +1,101 @@
+package convexagreement_test
+
+import (
+	"math/big"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	ca "convexagreement"
+)
+
+// TestSessionSequentialInstancesOverTCP runs three back-to-back agreement
+// instances (two CA, one approximate) over one TCP mesh.
+func TestSessionSequentialInstancesOverTCP(t *testing.T) {
+	const n = 4
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	type outcome struct {
+		first, second, approx *big.Int
+	}
+	results := make([]outcome, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := ca.DialTCP(ca.TCPConfig{
+				ID: i, Addrs: addrs, Delta: 3 * time.Second, Listener: listeners[i],
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer tr.Close()
+			s := ca.NewSession(tr)
+			o := outcome{}
+			if o.first, err = s.Agree(ca.ProtoOptimal, 0, big.NewInt(int64(10+i))); err != nil {
+				errs[i] = err
+				return
+			}
+			if o.second, err = s.Agree(ca.ProtoOptimal, 0, big.NewInt(int64(-5*i))); err != nil {
+				errs[i] = err
+				return
+			}
+			if o.approx, err = s.ApproxAgree(big.NewInt(int64(100*i)), big.NewInt(1000), big.NewInt(8)); err != nil {
+				errs[i] = err
+				return
+			}
+			if s.Seq() != 3 {
+				errs[i] = err
+			}
+			results[i] = o
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("party %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if results[i].first.Cmp(results[0].first) != 0 || results[i].second.Cmp(results[0].second) != 0 {
+			t.Fatalf("session disagreement at party %d", i)
+		}
+	}
+	if !ca.InHull(results[0].first, ints(10, 11, 12, 13)) {
+		t.Errorf("first output %v outside hull", results[0].first)
+	}
+	if !ca.InHull(results[0].second, ints(0, -5, -10, -15)) {
+		t.Errorf("second output %v outside hull", results[0].second)
+	}
+	// Approximate instance: ε-close, within [0, 300].
+	for i := 1; i < n; i++ {
+		d := new(big.Int).Sub(results[i].approx, results[0].approx)
+		if d.Abs(d).Cmp(big.NewInt(8)) > 0 {
+			t.Fatalf("approx outputs differ beyond ε")
+		}
+	}
+	if !ca.InHull(results[0].approx, ints(0, 100, 200, 300)) {
+		t.Errorf("approx output %v outside hull", results[0].approx)
+	}
+}
+
+func TestRunPartyApproxValidation(t *testing.T) {
+	if _, err := ca.RunPartyApprox(nil, nil, big.NewInt(1), big.NewInt(1)); err == nil {
+		t.Error("nil input accepted")
+	}
+	if _, err := ca.RunPartyApprox(nil, big.NewInt(-1), big.NewInt(1), big.NewInt(1)); err == nil {
+		t.Error("negative input accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package convexagreement_test
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	ca "convexagreement"
+)
+
+// TestSoak is the long randomized campaign across the whole public surface:
+// random protocol, size, inputs, corruption mix, and seed, asserting
+// Definition 1 end to end. It runs a reduced pass under -short.
+func TestSoak(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	kinds := ca.AdversaryKinds()
+	protos := ca.Protocols()
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < trials; trial++ {
+		n := 4 + rng.Intn(9)
+		tc := (n - 1) / 3
+		proto := protos[rng.Intn(len(protos))]
+		width := 0
+		if proto.NeedsWidth() {
+			width = n * n * (1 + rng.Intn(3)) // legal for both fixed variants
+		}
+		maxBits := 24
+		if width > 0 {
+			maxBits = width
+		}
+		bound := new(big.Int).Lsh(big.NewInt(1), uint(maxBits))
+
+		inputs := make([]*big.Int, n)
+		for i := range inputs {
+			inputs[i] = new(big.Int).Rand(rng, bound)
+			if proto.AcceptsNegative() && rng.Intn(2) == 1 {
+				inputs[i].Neg(inputs[i])
+			}
+		}
+		corr := map[int]ca.Corruption{}
+		for len(corr) < rng.Intn(tc+1) {
+			ghostInput := new(big.Int).Rand(rng, bound)
+			if rng.Intn(2) == 1 {
+				ghostInput.Lsh(ghostInput, 30) // often far outside the honest range
+			}
+			corr[rng.Intn(n)] = ca.Corruption{
+				Kind:  kinds[rng.Intn(len(kinds))],
+				Input: ghostInput,
+			}
+		}
+		var honest []*big.Int
+		for i, v := range inputs {
+			if _, bad := corr[i]; !bad {
+				honest = append(honest, v)
+			}
+		}
+		res, err := ca.Agree(inputs, ca.Options{
+			Protocol:    proto,
+			Width:       width,
+			Corruptions: corr,
+			Seed:        rng.Int63(),
+		})
+		if err != nil {
+			t.Fatalf("trial %d (%s n=%d width=%d corr=%d): %v", trial, proto, n, width, len(corr), err)
+		}
+		if !ca.InHull(res.Output, honest) {
+			t.Fatalf("trial %d (%s n=%d): output %v escaped honest hull", trial, proto, n, res.Output)
+		}
+	}
+}

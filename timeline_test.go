@@ -1,0 +1,44 @@
+package convexagreement_test
+
+import (
+	"testing"
+
+	ca "convexagreement"
+)
+
+func TestAgreeTimelineOption(t *testing.T) {
+	inputs := ints(5, 9, 7, 6)
+	res, err := ca.Agree(inputs, ca.Options{Timeline: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) != res.Rounds {
+		t.Fatalf("timeline has %d entries for %d rounds", len(res.Timeline), res.Rounds)
+	}
+	var sum int64
+	for i, rs := range res.Timeline {
+		if rs.Round != i {
+			t.Fatalf("entry %d has round %d", i, rs.Round)
+		}
+		sum += rs.HonestBits
+	}
+	if sum != res.HonestBits {
+		t.Fatalf("timeline sums to %d, report says %d", sum, res.HonestBits)
+	}
+	// Off by default.
+	res2, err := ca.Agree(inputs, ca.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Timeline) != 0 {
+		t.Error("timeline recorded without the option")
+	}
+	// Per-party load is exposed and sums to the total.
+	var perParty int64
+	for _, b := range res2.BitsByParty {
+		perParty += b
+	}
+	if perParty != res2.HonestBits {
+		t.Errorf("BitsByParty sums to %d, want %d", perParty, res2.HonestBits)
+	}
+}

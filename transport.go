@@ -1,0 +1,236 @@
+package convexagreement
+
+import (
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+
+	"convexagreement/internal/channet"
+	"convexagreement/internal/tcpnet"
+	"convexagreement/internal/transport"
+)
+
+// Packet is an outgoing message addressed to one party. Tag is a protocol
+// label used for cost attribution; transports may ignore it.
+type Packet struct {
+	To      int
+	Tag     string
+	Payload []byte
+}
+
+// Message is a delivered packet; From is the authenticated sender index.
+type Message struct {
+	From    int
+	Payload []byte
+}
+
+// Transport is one party's handle to a synchronous network, the deployment
+// counterpart of the paper's model (§2): n parties, authenticated
+// pairwise channels, lock-step rounds with a known delay bound Δ.
+//
+// Exchange submits this party's packets for the current round and blocks
+// until the round closes (all peers delivered or Δ elapsed), returning the
+// received messages. Implementations must deliver messages sorted by
+// sender and stamp From truthfully.
+type Transport interface {
+	// ID returns this party's index, 0 ≤ ID < N.
+	ID() int
+	// N returns the number of parties.
+	N() int
+	// T returns the corruption budget t < n/3.
+	T() int
+	// Exchange completes one synchronous round.
+	Exchange(out []Packet) ([]Message, error)
+}
+
+// RunParty executes one party's side of the selected protocol over the
+// given transport. Every party of the cluster must call RunParty in the
+// same round with the same protocol and width. It blocks for the duration
+// of the protocol (O(n log n) rounds of the transport's Δ for
+// ProtoOptimal) and returns the agreed value.
+func RunParty(tr Transport, protocol Protocol, width int, input *big.Int) (*big.Int, error) {
+	if protocol == "" {
+		protocol = ProtoOptimal
+	}
+	if input == nil {
+		return nil, fmt.Errorf("%w: nil input", ErrOptions)
+	}
+	if input.Sign() < 0 && !protocol.AcceptsNegative() {
+		return nil, fmt.Errorf("%w: protocol %q takes inputs in ℕ", ErrOptions, protocol)
+	}
+	if protocol.NeedsWidth() && width <= 0 {
+		return nil, fmt.Errorf("%w: protocol %q requires a width", ErrOptions, protocol)
+	}
+	runner, err := protocolRunner(Options{Protocol: protocol, Width: width})
+	if err != nil {
+		return nil, err
+	}
+	return runner(netAdapter{tr}, input)
+}
+
+// netAdapter bridges the public Transport to the internal transport.Net.
+type netAdapter struct {
+	tr Transport
+}
+
+var _ transport.Net = netAdapter{}
+
+func (a netAdapter) ID() transport.PartyID { return transport.PartyID(a.tr.ID()) }
+func (a netAdapter) N() int                { return a.tr.N() }
+func (a netAdapter) T() int                { return a.tr.T() }
+
+func (a netAdapter) Exchange(out []transport.Packet) ([]transport.Message, error) {
+	pub := make([]Packet, len(out))
+	for i, p := range out {
+		pub[i] = Packet{To: int(p.To), Tag: p.Tag, Payload: p.Payload}
+	}
+	in, err := a.tr.Exchange(pub)
+	if err != nil {
+		return nil, err
+	}
+	msgs := make([]transport.Message, len(in))
+	for i, m := range in {
+		msgs[i] = transport.Message{From: transport.PartyID(m.From), Payload: m.Payload}
+	}
+	return msgs, nil
+}
+
+// TCPConfig configures DialTCP.
+type TCPConfig struct {
+	// ID is this party's index into Addrs.
+	ID int
+	// Addrs lists all parties' listen addresses in party order.
+	Addrs []string
+	// T is the corruption budget; defaults to ⌊(n−1)/3⌋.
+	T int
+	// Delta is the synchrony bound per round (default 2s).
+	Delta time.Duration
+	// DialTimeout bounds mesh establishment (default 10s).
+	DialTimeout time.Duration
+	// Listener optionally supplies a pre-bound listener for Addrs[ID].
+	Listener net.Listener
+}
+
+// TCPTransport is a Transport over a TCP full mesh (see internal/tcpnet for
+// the round-synchronization semantics). Close it when done.
+type TCPTransport struct {
+	conn *tcpnet.Conn
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// DialTCP establishes the TCP mesh for one party; all parties must call it
+// with consistent configurations. It blocks until every pairwise connection
+// is up.
+func DialTCP(cfg TCPConfig) (*TCPTransport, error) {
+	if cfg.T == 0 && len(cfg.Addrs) > 0 {
+		cfg.T = (len(cfg.Addrs) - 1) / 3
+	}
+	conn, err := tcpnet.Dial(tcpnet.Config{
+		ID:          cfg.ID,
+		Addrs:       cfg.Addrs,
+		T:           cfg.T,
+		Delta:       cfg.Delta,
+		DialTimeout: cfg.DialTimeout,
+		Listener:    cfg.Listener,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TCPTransport{conn: conn}, nil
+}
+
+// ID implements Transport.
+func (t *TCPTransport) ID() int { return int(t.conn.ID()) }
+
+// N implements Transport.
+func (t *TCPTransport) N() int { return t.conn.N() }
+
+// T implements Transport.
+func (t *TCPTransport) T() int { return t.conn.T() }
+
+// Exchange implements Transport.
+func (t *TCPTransport) Exchange(out []Packet) ([]Message, error) {
+	internal := make([]transport.Packet, len(out))
+	for i, p := range out {
+		internal[i] = transport.Packet{To: transport.PartyID(p.To), Tag: p.Tag, Payload: p.Payload}
+	}
+	in, err := t.conn.Exchange(internal)
+	if err != nil {
+		return nil, err
+	}
+	msgs := make([]Message, len(in))
+	for i, m := range in {
+		msgs[i] = Message{From: int(m.From), Payload: m.Payload}
+	}
+	return msgs, nil
+}
+
+// Close tears down the mesh.
+func (t *TCPTransport) Close() error { return t.conn.Close() }
+
+// LocalTransport is an in-process Transport over Go channels (package
+// channet): n parties hosted in one binary exchange rounds at memory
+// speed. Useful for embedding, demos, and tests that do not need the
+// simulator's adversaries or the TCP mesh.
+type LocalTransport struct {
+	conn *channet.Conn
+}
+
+var _ Transport = (*LocalTransport)(nil)
+
+// NewLocalCluster creates n connected in-process transports with corruption
+// budget t (default ⌊(n−1)/3⌋ when t = 0). Each returned transport must be
+// driven by its own goroutine; call Close on a transport when its party is
+// done so the others' rounds keep closing.
+func NewLocalCluster(n, t int) ([]*LocalTransport, error) {
+	if t == 0 && n > 1 {
+		t = (n - 1) / 3
+	}
+	hub, err := channet.NewHub(n, t)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*LocalTransport, n)
+	for i := 0; i < n; i++ {
+		conn, err := hub.Net(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = &LocalTransport{conn: conn}
+	}
+	return out, nil
+}
+
+// ID implements Transport.
+func (l *LocalTransport) ID() int { return int(l.conn.ID()) }
+
+// N implements Transport.
+func (l *LocalTransport) N() int { return l.conn.N() }
+
+// T implements Transport.
+func (l *LocalTransport) T() int { return l.conn.T() }
+
+// Exchange implements Transport.
+func (l *LocalTransport) Exchange(out []Packet) ([]Message, error) {
+	internal := make([]transport.Packet, len(out))
+	for i, p := range out {
+		internal[i] = transport.Packet{To: transport.PartyID(p.To), Tag: p.Tag, Payload: p.Payload}
+	}
+	in, err := l.conn.Exchange(internal)
+	if err != nil {
+		return nil, err
+	}
+	msgs := make([]Message, len(in))
+	for i, m := range in {
+		msgs[i] = Message{From: int(m.From), Payload: m.Payload}
+	}
+	return msgs, nil
+}
+
+// Close retires this party from the cluster.
+func (l *LocalTransport) Close() error {
+	l.conn.Leave()
+	return nil
+}

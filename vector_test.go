@@ -1,0 +1,157 @@
+package convexagreement_test
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	ca "convexagreement"
+)
+
+func vecs(rows ...[]int64) [][]*big.Int {
+	out := make([][]*big.Int, len(rows))
+	for i, row := range rows {
+		out[i] = ints(row...)
+	}
+	return out
+}
+
+// boxCheck verifies coordinate-wise validity.
+func boxCheck(t *testing.T, output []*big.Int, honest [][]*big.Int) {
+	t.Helper()
+	for c := range output {
+		col := make([]*big.Int, 0, len(honest))
+		for _, vec := range honest {
+			col = append(col, vec[c])
+		}
+		if !ca.InHull(output[c], col) {
+			t.Fatalf("coordinate %d: %v outside honest range", c, output[c])
+		}
+	}
+}
+
+func TestAgreeVectorBasic(t *testing.T) {
+	inputs := vecs(
+		[]int64{10, -5, 100},
+		[]int64{12, -7, 90},
+		[]int64{11, -6, 95},
+		[]int64{13, -4, 105},
+	)
+	res, err := ca.AgreeVector(inputs, ca.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 3 {
+		t.Fatalf("dimension %d", len(res.Output))
+	}
+	boxCheck(t, res.Output, inputs)
+	if len(res.Outputs) != 4 || res.Rounds == 0 || res.HonestBits == 0 {
+		t.Error("result incomplete")
+	}
+}
+
+func TestAgreeVectorGhostExtremes(t *testing.T) {
+	inputs := vecs(
+		[]int64{100, 200},
+		[]int64{101, 201},
+		nil, // corrupted
+		[]int64{102, 202},
+		[]int64{103, 203},
+		nil, // corrupted
+		[]int64{104, 204},
+	)
+	corr := map[int]ca.Corruption{
+		2: {Kind: ca.AdvGhost, InputVector: ints(-1<<40, 1<<40)},
+		5: {Kind: ca.AdvGhost, Input: big.NewInt(0)}, // replicated scalar
+	}
+	var honest [][]*big.Int
+	for i, vec := range inputs {
+		if _, bad := corr[i]; !bad {
+			honest = append(honest, vec)
+		}
+	}
+	res, err := ca.AgreeVector(inputs, ca.Options{Corruptions: corr, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxCheck(t, res.Output, honest)
+}
+
+func TestAgreeVectorNetworkAdversaries(t *testing.T) {
+	inputs := vecs(
+		[]int64{1, 2}, []int64{3, 4}, nil, []int64{5, 6},
+		[]int64{7, 8}, []int64{9, 10}, nil,
+	)
+	corr := map[int]ca.Corruption{
+		2: {Kind: ca.AdvEquivocate},
+		6: {Kind: ca.AdvGarbage},
+	}
+	var honest [][]*big.Int
+	for i, vec := range inputs {
+		if _, bad := corr[i]; !bad {
+			honest = append(honest, vec)
+		}
+	}
+	res, err := ca.AgreeVector(inputs, ca.Options{Corruptions: corr, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxCheck(t, res.Output, honest)
+}
+
+// TestAgreeVectorRoundsFlatInDimension checks the mux payoff: tripling the
+// dimension must not triple the rounds (they stay within a whisker of the
+// scalar count).
+func TestAgreeVectorRoundsFlatInDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mk := func(d int) [][]*big.Int {
+		out := make([][]*big.Int, 4)
+		for i := range out {
+			vec := make([]*big.Int, d)
+			for c := range vec {
+				vec[c] = big.NewInt(int64(rng.Intn(1 << 16)))
+			}
+			out[i] = vec
+		}
+		return out
+	}
+	r1, err := ca.AgreeVector(mk(1), ca.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := ca.AgreeVector(mk(3), ca.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Rounds > r1.Rounds*2 {
+		t.Errorf("rounds grew from %d to %d with dimension; composition is not parallel", r1.Rounds, r3.Rounds)
+	}
+	if r3.HonestBits < 2*r1.HonestBits {
+		t.Errorf("bits %d vs %d: expected ≈3× growth in dimension", r3.HonestBits, r1.HonestBits)
+	}
+}
+
+func TestAgreeVectorValidation(t *testing.T) {
+	if _, err := ca.AgreeVector(nil, ca.Options{}); err == nil {
+		t.Error("no inputs accepted")
+	}
+	if _, err := ca.AgreeVector(vecs([]int64{1}, []int64{2, 3}, []int64{4}, []int64{5}), ca.Options{}); err == nil {
+		t.Error("ragged dimensions accepted")
+	}
+	if _, err := ca.AgreeVector(vecs(nil, nil, nil, nil), ca.Options{}); err == nil {
+		t.Error("empty vectors accepted")
+	}
+	bad := vecs([]int64{1}, []int64{2}, []int64{3}, []int64{4})
+	bad[1][0] = nil
+	if _, err := ca.AgreeVector(bad, ca.Options{}); err == nil {
+		t.Error("nil coordinate accepted")
+	}
+	if _, err := ca.AgreeVector(vecs([]int64{1}, []int64{2}, []int64{3}, []int64{4}),
+		ca.Options{Corruptions: map[int]ca.Corruption{0: {Kind: ca.AdvGhost}}}); err == nil {
+		t.Error("ghost without any input accepted")
+	}
+	if _, err := ca.AgreeVector(vecs([]int64{1, 2}, []int64{2, 3}, []int64{3, 4}, []int64{4, 5}),
+		ca.Options{Corruptions: map[int]ca.Corruption{0: {Kind: ca.AdvGhost, InputVector: ints(1)}}}); err == nil {
+		t.Error("wrong-dimension ghost vector accepted")
+	}
+}
