@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples cover clean
+.PHONY: all build vet test race bench bench-json ci experiments examples cover clean
+
+# Benchmarks that feed the perf-trajectory record (see bench-json).
+BENCH_PKGS = ./internal/gf16/ ./internal/rs/ ./internal/sim/ ./internal/merkle/ ./internal/baplus/
 
 all: build vet test
 
@@ -23,6 +26,18 @@ short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Re-measure the hot-path benchmarks and refresh BENCH_PR1.json, keeping the
+# pre-optimization seed numbers (benchdata/bench_seed.json) as the "before"
+# section. A per-benchmark speedup summary is printed to stderr.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -before benchdata/bench_seed.json > BENCH_PR1.json
+
+# Minimal CI entry point (vet + build + tests + race on the perf-critical
+# packages); scripts/ci.sh is the same thing for environments without make.
+ci:
+	./scripts/ci.sh
 
 cover:
 	$(GO) test -cover ./...

@@ -8,6 +8,7 @@
 package convexagreement_test
 
 import (
+	"fmt"
 	"math/big"
 	"math/rand"
 	"sync"
@@ -327,4 +328,24 @@ func BenchmarkE10_AdversaryAblation(b *testing.B) {
 		res = runAgree(b, inputs, ca.Options{Protocol: ca.ProtoOptimalNat, Corruptions: corr, Seed: 10})
 	}
 	reportCost(b, res, ell, n)
+}
+
+// BenchmarkLargeN times the optimal protocol in the regime the hot-path
+// pass opened up (DESIGN.md §2.4): full instances at n ≥ 64, where the
+// κ·n²·log²n witness term dominates and which were previously too slow to
+// sweep. These are whole-protocol numbers — thousands of lock-step rounds
+// per op — so expect seconds, not microseconds.
+func BenchmarkLargeN(b *testing.B) {
+	const ell = 1 << 14
+	for _, n := range []int{64, 128} {
+		n := n
+		b.Run(fmt.Sprintf("OptimalNat_n%d", n), func(b *testing.B) {
+			inputs := benchInputs(n, ell, int64(n))
+			var res *ca.Result
+			for i := 0; i < b.N; i++ {
+				res = runAgree(b, inputs, ca.Options{Protocol: ca.ProtoOptimalNat, Seed: int64(n)})
+			}
+			reportCost(b, res, ell, n)
+		})
+	}
 }

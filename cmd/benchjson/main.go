@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench -benchmem` output into JSON so
+// benchmark runs can be diffed and tracked across PRs (see `make bench-json`,
+// which maintains BENCH_PR1.json as the repo's perf-trajectory record).
+//
+// It reads benchmark output on stdin and writes a JSON object mapping each
+// benchmark name (GOMAXPROCS suffix stripped) to its measured metrics:
+//
+//	{"BenchmarkEncode_n256_k171_64KiB": {"ns_op": 3852660, "b_op": 123, "allocs_op": 2}, ...}
+//
+// With -before FILE, the flat object produced by a previous run is embedded
+// alongside the fresh numbers as {"before": {...}, "after": {...}}, which is
+// the checked-in format.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics holds one benchmark's parsed values; pointers distinguish "not
+// reported" (e.g. no -benchmem) from a literal zero.
+type metrics struct {
+	NsOp     *float64 `json:"ns_op,omitempty"`
+	MBs      *float64 `json:"mb_s,omitempty"`
+	BOp      *float64 `json:"b_op,omitempty"`
+	AllocsOp *float64 `json:"allocs_op,omitempty"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func parse(r *bufio.Scanner) (map[string]*metrics, error) {
+	out := make(map[string]*metrics)
+	for r.Scan() {
+		fields := strings.Fields(r.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		m := &metrics{}
+		// fields[1] is the iteration count; after it come (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %q: bad value %q: %v", name, fields[i], err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsOp = &v
+			case "MB/s":
+				m.MBs = &v
+			case "B/op":
+				m.BOp = &v
+			case "allocs/op":
+				m.AllocsOp = &v
+			}
+		}
+		out[name] = m
+	}
+	return out, r.Err()
+}
+
+// orderedJSON marshals the map with sorted keys so regenerated files diff
+// cleanly. (encoding/json already sorts map keys; this wrapper documents
+// that the stability is load-bearing.)
+func orderedJSON(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func main() {
+	before := flag.String("before", "", "path to a previous flat benchjson output to embed as the \"before\" section")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	after, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(after) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	var doc any = after
+	if *before != "" {
+		raw, err := os.ReadFile(*before)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var baseline map[string]*metrics
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *before, err)
+			os.Exit(1)
+		}
+		doc = map[string]any{"before": baseline, "after": after}
+	}
+
+	b, err := orderedJSON(doc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(b)
+
+	// A terse speedup summary on stderr helps eyeball regressions without
+	// opening the JSON.
+	if m, ok := doc.(map[string]any); ok {
+		baseline := m["before"].(map[string]*metrics)
+		names := make([]string, 0, len(after))
+		for name := range after {
+			if baseline[name] != nil {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b, a := baseline[name], after[name]
+			if b.NsOp != nil && a.NsOp != nil && *a.NsOp > 0 {
+				fmt.Fprintf(os.Stderr, "%-50s %10.0f -> %10.0f ns/op  (%.2fx)\n", name, *b.NsOp, *a.NsOp, *b.NsOp / *a.NsOp)
+			}
+		}
+	}
+}

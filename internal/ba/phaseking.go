@@ -92,11 +92,11 @@ func Binary(env transport.Net, tag string, input byte) (byte, error) {
 
 		// Round 3: the king broadcasts its d; parties without n−t proposal
 		// support defer to the king. A silent or garbled king counts as 0.
-		var out []transport.Packet
 		if env.ID() == king {
-			out = transport.Broadcast(env, tag+"/pk3", []byte{d})
+			in, err = transport.ExchangeAll(env, tag+"/pk3", []byte{d})
+		} else {
+			in, err = env.Exchange(nil)
 		}
-		in, err = env.Exchange(out)
 		if err != nil {
 			return 0, err
 		}

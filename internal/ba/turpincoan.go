@@ -40,7 +40,7 @@ func Multivalued(env transport.Net, tag string, input []byte) ([]byte, bool, err
 	} else {
 		second = encodeTCBot()
 	}
-	in, err = env.Exchange(transport.Broadcast(env, tag+"/tc2", second))
+	in, err = transport.ExchangeAll(env, tag+"/tc2", second)
 	if err != nil {
 		return nil, false, err
 	}

@@ -99,30 +99,35 @@ func Long(env transport.Net, tag string, input []byte) ([]byte, bool, error) {
 
 	// Step 3, round B: re-broadcast our verified share; collect everyone
 	// else's, discarding anything that fails verification.
-	out = nil
 	if myShare != nil {
-		out = transport.Broadcast(env, tag+"/sharerelay", encodeTuple(myIdx, myShare, myWitness))
+		in, err = transport.ExchangeAll(env, tag+"/sharerelay", encodeTuple(myIdx, myShare, myWitness))
+	} else {
+		in, err = env.Exchange(nil)
 	}
-	in, err = env.Exchange(out)
 	if err != nil {
 		return nil, false, err
 	}
-	collected := make(map[int][]byte, n)
+	// Index the collected shares by position rather than through a map: idx
+	// is bounds-checked before use (byzantine tuples carry arbitrary
+	// indices), and walking the slice in ascending order feeds the codec
+	// pre-sorted shares, which its selection fast path rewards.
+	collected := make([][]byte, n)
+	count := 0
 	for _, m := range in {
 		idx, data, w, decodeOK := decodeTuple(m.Payload)
-		if !decodeOK {
-			continue
-		}
-		if _, have := collected[idx]; have {
+		if !decodeOK || idx < 0 || idx >= n || collected[idx] != nil {
 			continue
 		}
 		if merkle.Verify(zStar, idx, n, data, w) {
 			collected[idx] = data
+			count++
 		}
 	}
-	decodeShares := make([]rs.Share, 0, len(collected))
+	decodeShares := make([]rs.Share, 0, count)
 	for idx, data := range collected {
-		decodeShares = append(decodeShares, rs.Share{Index: idx, Data: data})
+		if data != nil {
+			decodeShares = append(decodeShares, rs.Share{Index: idx, Data: data})
+		}
 	}
 	value, err := codec.Decode(decodeShares)
 	if err != nil {

@@ -18,4 +18,52 @@ func BenchmarkInv(b *testing.B) {
 	sink = acc
 }
 
+// The slice-kernel benchmarks process a 4096-symbol stripe — the codec's
+// typical working-set shape — and must report 0 allocs/op.
+func BenchmarkMulAddSlice_4096(b *testing.B) {
+	src := make([]Elem, 4096)
+	dst := make([]Elem, 4096)
+	for i := range src {
+		src[i] = Elem(i*2654435761 + 1)
+	}
+	b.SetBytes(int64(2 * len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x1234, dst, src)
+	}
+	sink = dst[0]
+}
+
+func BenchmarkMulAddSliceBytes_8KiB(b *testing.B) {
+	src := make([]byte, 8<<10)
+	dst := make([]byte, 8<<10)
+	for i := range src {
+		src[i] = byte(i*31 + 1)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulAddSliceBytes(0x1234, dst, src)
+	}
+	sink = Elem(dst[0])
+}
+
+// BenchmarkScalarMulLoop is the pre-kernel baseline shape: the same
+// multiply-accumulate expressed with scalar Mul/Add calls per element.
+func BenchmarkScalarMulLoop_4096(b *testing.B) {
+	src := make([]Elem, 4096)
+	dst := make([]Elem, 4096)
+	for i := range src {
+		src[i] = Elem(i*2654435761 + 1)
+	}
+	b.SetBytes(int64(2 * len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j, v := range src {
+			dst[j] = Add(dst[j], Mul(0x1234, v))
+		}
+	}
+	sink = dst[0]
+}
+
 var sink Elem

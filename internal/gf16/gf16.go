@@ -11,8 +11,6 @@
 // logarithms.
 package gf16
 
-import "sync"
-
 // Elem is an element of GF(2^16).
 type Elem uint16
 
@@ -23,15 +21,23 @@ const Order = 1<<16 - 1
 // i.e. the feedback mask applied when a carry leaves the top bit.
 const reducingPoly = 0x100B
 
+// expMask sizes the exponent table to a power of two: every valid index
+// (≤ 2·Order − 2) is below 1<<17, so `idx & expMask` is semantically a
+// no-op that lets the compiler drop the bounds check in the slice kernels'
+// innermost loops.
+const expMask = 1<<17 - 1
+
+// The log/exp tables are fixed-size arrays built once at package init, so
+// no hot path — in particular the slice kernels, which sit in the innermost
+// loops of the Reed-Solomon codec — ever pays a sync.Once check or a slice
+// indirection. Building costs ~65k shift-and-reduce multiplications (well
+// under a millisecond of startup).
 var (
-	tablesOnce sync.Once
-	expTable   []Elem // exp[i] = x^i, doubled so products avoid a modulo
-	logTable   []uint32
+	expTable [expMask + 1]Elem // exp[i] = x^i, doubled so products avoid a modulo
+	logTable [1 << 16]uint32
 )
 
-func buildTables() {
-	expTable = make([]Elem, 2*Order)
-	logTable = make([]uint32, 1<<16)
+func init() {
 	v := Elem(1)
 	for i := 0; i < Order; i++ {
 		expTable[i] = v
@@ -40,8 +46,6 @@ func buildTables() {
 		v = mulNoTable(v, 2)
 	}
 }
-
-func ensureTables() { tablesOnce.Do(buildTables) }
 
 // mulNoTable multiplies by shift-and-reduce; used only to build the tables
 // and in tests as an independent reference implementation.
@@ -69,7 +73,6 @@ func Mul(a, b Elem) Elem {
 	if a == 0 || b == 0 {
 		return 0
 	}
-	ensureTables()
 	return expTable[logTable[a]+logTable[b]]
 }
 
@@ -79,7 +82,6 @@ func Inv(a Elem) Elem {
 	if a == 0 {
 		return 0
 	}
-	ensureTables()
 	return expTable[Order-logTable[a]]
 }
 
@@ -88,7 +90,6 @@ func Div(a, b Elem) Elem {
 	if a == 0 || b == 0 {
 		return 0
 	}
-	ensureTables()
 	l := logTable[a] + Order - logTable[b]
 	return expTable[l%Order]
 }
@@ -101,7 +102,6 @@ func Pow(a Elem, k int) Elem {
 	if a == 0 {
 		return 0
 	}
-	ensureTables()
 	l := (uint64(logTable[a]) * uint64(k)) % Order
 	return expTable[l]
 }

@@ -1,0 +1,126 @@
+package gf16
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// randElems draws a vector with a deliberate sprinkling of zeros, since the
+// kernels special-case zero symbols.
+func randElems(rng *rand.Rand, n int) []Elem {
+	out := make([]Elem, n)
+	for i := range out {
+		if rng.Intn(8) == 0 {
+			continue
+		}
+		out[i] = Elem(rng.Intn(1 << 16))
+	}
+	return out
+}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		c := Elem(rng.Intn(1 << 16))
+		if trial == 0 {
+			c = 0 // force the zero-coefficient path
+		}
+		src := randElems(rng, 1+rng.Intn(100))
+		dst := make([]Elem, len(src))
+		MulSlice(c, dst, src)
+		for i := range src {
+			if want := Mul(c, src[i]); dst[i] != want {
+				t.Fatalf("c=%#x src[%d]=%#x: got %#x want %#x", c, i, src[i], dst[i], want)
+			}
+		}
+		// Exact aliasing (dst == src) must be supported.
+		clone := append([]Elem(nil), src...)
+		MulSlice(c, clone, clone)
+		for i := range src {
+			if want := Mul(c, src[i]); clone[i] != want {
+				t.Fatalf("aliased c=%#x src[%d]=%#x: got %#x want %#x", c, i, src[i], clone[i], want)
+			}
+		}
+	}
+}
+
+func TestMulAddSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		c := Elem(rng.Intn(1 << 16))
+		if trial == 0 {
+			c = 0
+		}
+		src := randElems(rng, 1+rng.Intn(100))
+		dst := randElems(rng, len(src))
+		want := make([]Elem, len(src))
+		for i := range src {
+			want[i] = Add(dst[i], Mul(c, src[i]))
+		}
+		MulAddSlice(c, dst, src)
+		for i := range src {
+			if dst[i] != want[i] {
+				t.Fatalf("c=%#x i=%d: got %#x want %#x", c, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBytesKernelsMatchElemKernels checks the wire-layout kernels against
+// the []Elem kernels across the big-endian boundary.
+func TestBytesKernelsMatchElemKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		c := Elem(rng.Intn(1 << 16))
+		if trial == 0 {
+			c = 0
+		}
+		src := randElems(rng, 1+rng.Intn(100))
+		acc := randElems(rng, len(src))
+
+		srcB := make([]byte, 2*len(src))
+		accB := make([]byte, 2*len(src))
+		for i := range src {
+			binary.BigEndian.PutUint16(srcB[2*i:], uint16(src[i]))
+			binary.BigEndian.PutUint16(accB[2*i:], uint16(acc[i]))
+		}
+
+		wantMul := make([]Elem, len(src))
+		MulSlice(c, wantMul, src)
+		gotMulB := make([]byte, 2*len(src))
+		MulSliceBytes(c, gotMulB, srcB)
+
+		MulAddSlice(c, acc, src)
+		MulAddSliceBytes(c, accB, srcB)
+
+		for i := range src {
+			if got := Elem(binary.BigEndian.Uint16(gotMulB[2*i:])); got != wantMul[i] {
+				t.Fatalf("MulSliceBytes c=%#x i=%d: got %#x want %#x", c, i, got, wantMul[i])
+			}
+			if got := Elem(binary.BigEndian.Uint16(accB[2*i:])); got != acc[i] {
+				t.Fatalf("MulAddSliceBytes c=%#x i=%d: got %#x want %#x", c, i, got, acc[i])
+			}
+		}
+	}
+}
+
+// TestKernelsAllocFree pins the kernels' zero-allocation guarantee — they
+// run in the innermost codec loops, where any per-call allocation would
+// dominate the profile.
+func TestKernelsAllocFree(t *testing.T) {
+	src := randElems(rand.New(rand.NewSource(4)), 4096)
+	dst := make([]Elem, len(src))
+	srcB := make([]byte, 2*len(src))
+	dstB := make([]byte, 2*len(src))
+	for name, fn := range map[string]func(){
+		"MulSlice":         func() { MulSlice(0x1234, dst, src) },
+		"MulAddSlice":      func() { MulAddSlice(0x1234, dst, src) },
+		"MulSliceBytes":    func() { MulSliceBytes(0x1234, dstB, srcB) },
+		"MulAddSliceBytes": func() { MulAddSliceBytes(0x1234, dstB, srcB) },
+	} {
+		if allocs := testing.AllocsPerRun(10, fn); allocs != 0 {
+			t.Errorf("%s allocates %.0f times per call; want 0", name, allocs)
+		}
+	}
+}

@@ -6,7 +6,10 @@
 // realistic computationally bounded adversary.
 package hashing
 
-import "crypto/sha256"
+import (
+	"crypto/sha256"
+	"hash"
+)
 
 // Kappa is the security parameter κ in bits.
 const Kappa = 256
@@ -26,6 +29,56 @@ func Sum(parts ...[]byte) Digest {
 	var d Digest
 	copy(d[:], h.Sum(nil))
 	return d
+}
+
+// Hasher computes H_κ like Sum but amortizes the hash-state allocation over
+// many invocations: batch producers (Merkle tree construction, witness
+// recomputation) hash hundreds of short inputs, and the per-call sha256.New
+// plus Sum(nil) append of the one-shot helper dominate their profile. A
+// Hasher is not safe for concurrent use; create one per goroutine.
+type Hasher struct {
+	h   hash.Hash
+	buf [Size]byte // staging for Sum output and WriteDigest input
+}
+
+// NewHasher returns a reusable H_κ instance.
+func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
+
+// Reset starts a new hash computation, discarding any absorbed input.
+func (hs *Hasher) Reset() { hs.h.Reset() }
+
+// Write absorbs p into the current hash computation.
+func (hs *Hasher) Write(p []byte) { hs.h.Write(p) } // hash.Hash.Write never fails
+
+// WriteDigest absorbs a digest value. Callers hashing stack-local digests
+// (tree construction, witness recomputation) must use this instead of
+// Write(d[:]): slicing a local array for an interface method forces the
+// whole array to the heap, one allocation per hash — staging the value in
+// the Hasher's own buffer keeps the caller's copy on the stack.
+func (hs *Hasher) WriteDigest(d Digest) {
+	hs.buf = d
+	hs.h.Write(hs.buf[:])
+}
+
+// Digest finalizes the current computation and returns H_κ over everything
+// written since the last Reset. The Hasher must be Reset before reuse.
+func (hs *Hasher) Digest() Digest {
+	var d Digest
+	copy(d[:], hs.h.Sum(hs.buf[:0]))
+	return d
+}
+
+// Sum returns H_κ over the concatenation of the given byte slices,
+// equivalent to the package-level Sum. Hot loops should prefer explicit
+// Reset/Write/Digest calls: a variadic call from another package heap-
+// allocates the parts slice, which is the very overhead Hasher exists to
+// avoid.
+func (hs *Hasher) Sum(parts ...[]byte) Digest {
+	hs.Reset()
+	for _, p := range parts {
+		hs.Write(p)
+	}
+	return hs.Digest()
 }
 
 // FromBytes parses a digest from raw bytes, reporting whether the length was

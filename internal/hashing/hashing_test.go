@@ -15,6 +15,34 @@ func TestSumMatchesSHA256(t *testing.T) {
 	}
 }
 
+func TestHasherMatchesSum(t *testing.T) {
+	h := NewHasher()
+	inputs := [][][]byte{
+		nil,
+		{[]byte("hello "), []byte("world")},
+		{nil},
+		{[]byte{0x00}, make([]byte, 1000)},
+		{[]byte("a"), []byte("b"), []byte("c")},
+	}
+	for i, parts := range inputs {
+		if got, want := h.Sum(parts...), Sum(parts...); got != want {
+			t.Errorf("case %d: Hasher.Sum = %x, Sum = %x", i, got, want)
+		}
+	}
+	// Reuse after a large input must not leak state into the next hash.
+	if got, want := h.Sum([]byte("x")), Sum([]byte("x")); got != want {
+		t.Errorf("reused Hasher diverged: %x != %x", got, want)
+	}
+}
+
+func TestHasherAllocFree(t *testing.T) {
+	h := NewHasher()
+	p, q := []byte("some leaf value"), []byte("sibling digest bytes")
+	if n := testing.AllocsPerRun(200, func() { _ = h.Sum(p, q) }); n != 0 {
+		t.Errorf("Hasher.Sum allocates %v times per call, want 0", n)
+	}
+}
+
 func TestFromBytes(t *testing.T) {
 	d := Sum([]byte("x"))
 	got, ok := FromBytes(d[:])

@@ -24,6 +24,16 @@ func BenchmarkBuild_n64(b *testing.B) {
 	}
 }
 
+func BenchmarkBuild_n256(b *testing.B) {
+	leaves := benchLeaves(256, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(leaves); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkWitness_n64(b *testing.B) {
 	tree, _ := Build(benchLeaves(64, 256))
 	b.ResetTimer()

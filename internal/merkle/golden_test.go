@@ -1,0 +1,56 @@
+package merkle
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRootGolden pins Merkle root values recorded from the seed
+// implementation. The roots are what parties agree on in Π_ℓBA+, so any
+// change to leaf hashing, domain separation, or tree shape would silently
+// alter protocol transcripts; this test makes such drift loud.
+func TestRootGolden(t *testing.T) {
+	cases := []struct {
+		n, leafLen int
+		seed       int64
+		want       string // hex of Root()
+	}{
+		{n: 1, leafLen: 32, seed: 1, want: "8444a049eac77050fb744a9a2c1f93c876b608f2e8ddda872eaf276e8fc9af7e"},
+		{n: 2, leafLen: 16, seed: 2, want: "dc4ae28d72008bfc2d9d5856ce92c55ae4df50e140d4ef8bafcb6f7bbff1f5f3"},
+		{n: 7, leafLen: 64, seed: 3, want: "fc7d343ec8a115eb6b7c8ad4b86748dab0950b6ac69a651ee772ef51ebe9d929"},
+		{n: 64, leafLen: 256, seed: 4, want: "911580e8a3aaea74b857546602262c4c0467cc88b4b64a7242caed3dc7e4afa6"},
+		{n: 100, leafLen: 33, seed: 5, want: "4dc7ccd9f389ca67767022c60ba624ff6e9613bf329290e987849791ce0ae33e"}, // non-power-of-two shape
+		{n: 256, leafLen: 512, seed: 6, want: "86095b331ff5182fc106b43a1a6289c695a4e49e6f43e9dea93313bf0a849096"},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("n%d_len%d", tc.n, tc.leafLen), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(tc.seed))
+			leaves := make([][]byte, tc.n)
+			for i := range leaves {
+				leaves[i] = make([]byte, tc.leafLen)
+				rng.Read(leaves[i])
+			}
+			tree, err := Build(leaves)
+			if err != nil {
+				t.Fatal(err)
+			}
+			root := tree.Root()
+			got := hex.EncodeToString(root[:])
+			if got != tc.want {
+				t.Errorf("root drifted:\n got %s\nwant %s", got, tc.want)
+			}
+			// Every witness must verify against the pinned root.
+			for i := range leaves {
+				w, err := tree.Witness(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !Verify(root, i, tc.n, leaves[i], w) {
+					t.Errorf("witness %d does not verify", i)
+				}
+			}
+		})
+	}
+}

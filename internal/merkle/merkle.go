@@ -49,10 +49,18 @@ func Build(leaves [][]byte) (*Tree, error) {
 		leaves: make([]hashing.Digest, len(leaves)),
 		memo:   make(map[[2]int]hashing.Digest, 2*len(leaves)),
 	}
+	// One Hasher serves every leaf and interior node: construction is the
+	// batch hot path (Π_ℓBA+ builds a fresh tree per sender per instance),
+	// and a shared hash state turns ~2n one-shot Sum calls into ~2n
+	// allocation-free Reset/Write/Sum cycles.
+	h := hashing.NewHasher()
 	for i, leaf := range leaves {
-		t.leaves[i] = hashing.Sum(leafPrefix, leaf)
+		h.Reset()
+		h.Write(leafPrefix)
+		h.Write(leaf)
+		t.leaves[i] = h.Digest()
 	}
-	t.root = t.subtree(0, t.n)
+	t.root = t.build(h, 0, t.n)
 	return t, nil
 }
 
@@ -72,19 +80,33 @@ func split(size int) int {
 	return k
 }
 
-func (t *Tree) subtree(lo, hi int) hashing.Digest {
+// build hashes the subtree over [lo,hi) bottom-up, memoizing every interior
+// range. The RFC 6962 decomposition visits each range exactly once, so no
+// memo lookup is needed on the way down.
+func (t *Tree) build(h *hashing.Hasher, lo, hi int) hashing.Digest {
 	if hi-lo == 1 {
 		return t.leaves[lo]
 	}
-	if d, ok := t.memo[[2]int{lo, hi}]; ok {
-		return d
-	}
 	mid := lo + split(hi-lo)
-	l := t.subtree(lo, mid)
-	r := t.subtree(mid, hi)
-	d := hashing.Sum(nodePrefix, l[:], r[:])
+	l := t.build(h, lo, mid)
+	r := t.build(h, mid, hi)
+	h.Reset()
+	h.Write(nodePrefix)
+	h.WriteDigest(l)
+	h.WriteDigest(r)
+	d := h.Digest()
 	t.memo[[2]int{lo, hi}] = d
 	return d
+}
+
+// node returns the digest of the subtree over [lo,hi) without hashing:
+// Build memoized every interior range in the decomposition, and those are
+// exactly the ranges Witness walks, so this is always a hit.
+func (t *Tree) node(lo, hi int) hashing.Digest {
+	if hi-lo == 1 {
+		return t.leaves[lo]
+	}
+	return t.memo[[2]int{lo, hi}]
 }
 
 // Witness returns the audit path for leaf i: the sibling hashes from the
@@ -99,10 +121,10 @@ func (t *Tree) Witness(i int) ([]hashing.Digest, error) {
 	for hi-lo > 1 {
 		mid := lo + split(hi-lo)
 		if i < mid {
-			path = append(path, t.subtree(mid, hi))
+			path = append(path, t.node(mid, hi))
 			hi = mid
 		} else {
-			path = append(path, t.subtree(lo, mid))
+			path = append(path, t.node(lo, mid))
 			lo = mid
 		}
 	}
@@ -120,33 +142,41 @@ func Verify(root hashing.Digest, i, n int, value []byte, witness []hashing.Diges
 	if i < 0 || i >= n || n < 1 {
 		return false
 	}
-	digest, used, ok := recompute(i, 0, n, value, witness)
+	h := hashing.NewHasher() // shared across the log n path recomputations
+	digest, used, ok := recompute(h, i, 0, n, value, witness)
 	return ok && used == len(witness) && digest == root
 }
 
-func recompute(i, lo, hi int, value []byte, witness []hashing.Digest) (hashing.Digest, int, bool) {
+func recompute(h *hashing.Hasher, i, lo, hi int, value []byte, witness []hashing.Digest) (hashing.Digest, int, bool) {
 	if hi-lo == 1 {
-		return hashing.Sum(leafPrefix, value), 0, true
+		h.Reset()
+		h.Write(leafPrefix)
+		h.Write(value)
+		return h.Digest(), 0, true
 	}
 	mid := lo + split(hi-lo)
 	var child hashing.Digest
 	var used int
 	var ok bool
 	if i < mid {
-		child, used, ok = recompute(i, lo, mid, value, witness)
+		child, used, ok = recompute(h, i, lo, mid, value, witness)
 	} else {
-		child, used, ok = recompute(i, mid, hi, value, witness)
+		child, used, ok = recompute(h, i, mid, hi, value, witness)
 	}
 	if !ok || used >= len(witness) {
 		return hashing.Digest{}, 0, false
 	}
 	sib := witness[used]
-	var d hashing.Digest
+	h.Reset()
+	h.Write(nodePrefix)
 	if i < mid {
-		d = hashing.Sum(nodePrefix, child[:], sib[:])
+		h.WriteDigest(child)
+		h.WriteDigest(sib)
 	} else {
-		d = hashing.Sum(nodePrefix, sib[:], child[:])
+		h.WriteDigest(sib)
+		h.WriteDigest(child)
 	}
+	d := h.Digest()
 	return d, used + 1, true
 }
 

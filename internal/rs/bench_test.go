@@ -59,3 +59,34 @@ func BenchmarkDecodeInterpolated_n31_k21_64KiB(b *testing.B) {
 		return rng.Perm(31)[:21]
 	})
 }
+
+// The (n=256, k=171) benchmarks are the paper's large-sweep regime: t = 85,
+// k = n − t, 64 KiB payloads — the configuration named in the repo's
+// perf-trajectory acceptance bar (see BENCH_PR1.json).
+func BenchmarkEncode_n256_k171_64KiB(b *testing.B) {
+	c, _ := NewCodec(256, 171)
+	payload := make([]byte, 64<<10)
+	rand.New(rand.NewSource(2)).Read(payload)
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeSystematic_n256_k171_64KiB(b *testing.B) {
+	benchCodec(b, 256, 171, 64<<10, func(*rand.Rand) []int {
+		idx := make([]int, 171)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	})
+}
+
+func BenchmarkDecodeInterpolated_n256_k171_64KiB(b *testing.B) {
+	benchCodec(b, 256, 171, 64<<10, func(rng *rand.Rand) []int {
+		return rng.Perm(256)[:171]
+	})
+}

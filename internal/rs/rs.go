@@ -11,6 +11,17 @@
 // Corrupted shares are *not* detected here — the protocol layer filters
 // shares through Merkle-tree witnesses (package merkle) before decoding, so
 // decoding is pure erasure decoding, exactly as in the paper.
+//
+// Performance architecture: encode and decode are stripe-major batch
+// computations. Share j's byte buffer is exactly the j-th codeword symbol
+// of every stripe in sequence, so each share is one contiguous vector; the
+// codec unpacks these vectors into []gf16.Elem columns once, runs the
+// matrix-vector products with the allocation-free gf16 slice kernels
+// (MulAddSlice), and packs results back to the big-endian wire layout in
+// one pass. Scratch vectors are recycled through a per-Codec sync.Pool.
+// The output bytes are identical to the original element-at-a-time codec
+// (see golden_test.go): only the evaluation order changed, and GF(2^16)
+// arithmetic is exact.
 package rs
 
 import (
@@ -18,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"convexagreement/internal/gf16"
 )
@@ -38,6 +50,24 @@ type Codec struct {
 	// ext[r][j] is the Lagrange coefficient mapping data symbol j to
 	// extension share k+r, precomputed at construction.
 	ext [][]gf16.Elem
+	// scratch recycles the per-call working set (symbol columns, decode
+	// matrix rows, framing buffers) across Encode/Decode calls; each call
+	// takes a private *scratch, so the Codec stays concurrency-safe.
+	scratch sync.Pool
+}
+
+// scratch is one call's reusable working set. Buffers grow to the largest
+// payload seen and are then reused allocation-free.
+type scratch struct {
+	framed []byte      // framed payload / reassembly grid
+	cols   []gf16.Elem // k symbol columns of `stripes` elements each, flat
+	parity []gf16.Elem // n−k parity columns, flat (encode)
+	vec    []gf16.Elem // one column: decode output
+	row    []gf16.Elem // one k-wide matrix row (decode)
+	pts    []gf16.Elem // chosen evaluation points (decode)
+	w      []gf16.Elem // barycentric weights (decode)
+	seen   []bool      // share-index dedup bitmap (decode)
+	chosen []Share     // validated shares (decode)
 }
 
 // Share is one codeword: the Index-th share (0-based) of an encoded payload.
@@ -55,6 +85,7 @@ func NewCodec(n, k int) (*Codec, error) {
 		return nil, fmt.Errorf("%w: n=%d k=%d", ErrParams, n, k)
 	}
 	c := &Codec{n: n, k: k}
+	c.scratch.New = func() any { return new(scratch) }
 	if n == k {
 		return c, nil
 	}
@@ -105,6 +136,25 @@ func (c *Codec) stripes(payloadLen int) int {
 	return (total + perStripe - 1) / perStripe
 }
 
+// sizeScratch (re)sizes a working set for `stripes` stripes.
+func (c *Codec) sizeScratch(s *scratch, stripes int) {
+	if need := 2 * c.k * stripes; cap(s.framed) < need {
+		s.framed = make([]byte, need)
+	} else {
+		s.framed = s.framed[:need]
+	}
+	if need := c.k * stripes; cap(s.cols) < need {
+		s.cols = make([]gf16.Elem, need)
+	} else {
+		s.cols = s.cols[:need]
+	}
+	if cap(s.vec) < stripes {
+		s.vec = make([]gf16.Elem, stripes)
+	} else {
+		s.vec = s.vec[:stripes]
+	}
+}
+
 // Encode is the paper's RS.ENCODE: it splits payload into n shares of
 // ShareSize(len(payload)) bytes each. Encoding is deterministic, so every
 // honest party derives identical shares from identical payloads.
@@ -113,36 +163,63 @@ func (c *Codec) Encode(payload []byte) ([]Share, error) {
 		return nil, fmt.Errorf("%w: payload too large", ErrParams)
 	}
 	stripes := c.stripes(len(payload))
-	// Data symbol grid: sym[s][j] = symbol j of stripe s.
-	framed := make([]byte, 4+len(payload))
+	shareSize := 2 * stripes
+	s := c.scratch.Get().(*scratch)
+	defer c.scratch.Put(s)
+	c.sizeScratch(s, stripes)
+
+	// Frame: 4-byte length header, payload, zero padding to the grid size.
+	framed := s.framed
 	binary.BigEndian.PutUint32(framed, uint32(len(payload)))
 	copy(framed[4:], payload)
+	clearBytes(framed[4+len(payload):])
+
+	// One flat backing array for all n share buffers.
+	flat := make([]byte, c.n*shareSize)
 	shares := make([]Share, c.n)
 	for i := range shares {
-		shares[i] = Share{Index: i, Data: make([]byte, 2*stripes)}
+		shares[i] = Share{Index: i, Data: flat[i*shareSize : (i+1)*shareSize]}
 	}
-	data := make([]gf16.Elem, c.k)
-	for s := 0; s < stripes; s++ {
+
+	// Systematic part: share j's bytes are data column j of the stripe
+	// grid. Fill the byte buffers and the []Elem columns (for the parity
+	// products below) in one sequential sweep over framed.
+	cols := s.cols
+	for st := 0; st < stripes; st++ {
+		base := 2 * st * c.k
 		for j := 0; j < c.k; j++ {
-			off := 2 * (s*c.k + j)
-			var v uint16
-			if off < len(framed) {
-				v = uint16(framed[off]) << 8
-			}
-			if off+1 < len(framed) {
-				v |= uint16(framed[off+1])
-			}
-			data[j] = gf16.Elem(v)
-			binary.BigEndian.PutUint16(shares[j].Data[2*s:], v) // systematic part
+			hi, lo := framed[base+2*j], framed[base+2*j+1]
+			shares[j].Data[2*st] = hi
+			shares[j].Data[2*st+1] = lo
+			cols[j*stripes+st] = gf16.Elem(uint16(hi)<<8 | uint16(lo))
 		}
-		for r := 0; r < c.n-c.k; r++ {
-			var acc gf16.Elem
-			row := c.ext[r]
-			for j := 0; j < c.k; j++ {
-				acc = gf16.Add(acc, gf16.Mul(row[j], data[j]))
-			}
-			binary.BigEndian.PutUint16(shares[c.k+r].Data[2*s:], uint16(acc))
+	}
+
+	// Parity shares: extension share k+r is Σ_j ext[r][j] · column_j, one
+	// fused multiply-accumulate kernel call per matrix coefficient. The
+	// column loop is outermost so each source column stays L1-resident
+	// across all n−k accumulations (the parity grid, (n−k)·stripes
+	// symbols, is the streaming operand — it is the smaller of the two).
+	// Tiling: process parity rows in blocks small enough that the block's
+	// accumulators stay L1-resident while the k source columns stream
+	// through once per block.
+	const rowBlock = 24
+	parity := resizeElems(&s.parity, (c.n-c.k)*stripes)
+	clearElems(parity)
+	for r0 := 0; r0 < c.n-c.k; r0 += rowBlock {
+		r1 := r0 + rowBlock
+		if r1 > c.n-c.k {
+			r1 = c.n - c.k
 		}
+		for j := 0; j < c.k; j++ {
+			col := cols[j*stripes : (j+1)*stripes]
+			for r := r0; r < r1; r++ {
+				gf16.MulAddSlice(c.ext[r][j], parity[r*stripes:(r+1)*stripes], col)
+			}
+		}
+	}
+	for r := 0; r < c.n-c.k; r++ {
+		packBE(shares[c.k+r].Data, parity[r*stripes:(r+1)*stripes])
 	}
 	return shares, nil
 }
@@ -151,12 +228,15 @@ func (c *Codec) Encode(payload []byte) ([]Share, error) {
 // distinct, well-formed shares. Extra shares beyond k are ignored (the
 // protocol layer has already authenticated every share it passes in).
 func (c *Codec) Decode(shares []Share) ([]byte, error) {
-	chosen, err := c.selectShares(shares)
+	s := c.scratch.Get().(*scratch)
+	defer c.scratch.Put(s)
+	chosen, err := c.selectShares(s, shares)
 	if err != nil {
 		return nil, err
 	}
 	stripes := len(chosen[0].Data) / 2
-	framed := make([]byte, 2*c.k*stripes)
+	c.sizeScratch(s, stripes)
+	framed := s.framed
 
 	// Fast path: if all data-range shares are present, copy them through.
 	systematic := true
@@ -167,23 +247,30 @@ func (c *Codec) Decode(shares []Share) ([]byte, error) {
 		}
 	}
 	if systematic {
-		for j := 0; j < c.k; j++ {
-			for s := 0; s < stripes; s++ {
-				copy(framed[2*(s*c.k+j):], chosen[j].Data[2*s:2*s+2])
+		for st := 0; st < stripes; st++ {
+			base := 2 * st * c.k
+			for j := 0; j < c.k; j++ {
+				framed[base+2*j] = chosen[j].Data[2*st]
+				framed[base+2*j+1] = chosen[j].Data[2*st+1]
 			}
 		}
 		return unframe(framed)
 	}
 
-	// General path: Lagrange-interpolate each stripe at the data points.
-	// Precompute the k×k decode matrix dec[t][j]: contribution of chosen
-	// share j to data symbol t, via barycentric weights over the chosen
-	// points.
-	pts := make([]gf16.Elem, c.k)
+	// General path: Lagrange-interpolate each stripe at the data points,
+	// batched: unpack the chosen shares into contiguous symbol columns,
+	// then compute each data column as one matrix-row × columns product
+	// with the gf16 slice kernels.
+	cols := s.cols
+	for j := 0; j < c.k; j++ {
+		unpackBE(cols[j*stripes:(j+1)*stripes], chosen[j].Data)
+	}
+	pts := resizeElems(&s.pts, c.k)
 	for j, sh := range chosen {
 		pts[j] = point(sh.Index)
 	}
-	w := make([]gf16.Elem, c.k)
+	// Barycentric weights over the chosen points.
+	w := resizeElems(&s.w, c.k)
 	for j := 0; j < c.k; j++ {
 		prod := gf16.Elem(1)
 		for m := 0; m < c.k; m++ {
@@ -193,12 +280,12 @@ func (c *Codec) Decode(shares []Share) ([]byte, error) {
 		}
 		w[j] = gf16.Inv(prod)
 	}
-	dec := make([][]gf16.Elem, c.k)
+	row := resizeElems(&s.row, c.k)
+	out := s.vec
 	for t := 0; t < c.k; t++ {
 		tp := point(t)
-		row := make([]gf16.Elem, c.k)
 		// If the target point is among the chosen points, the polynomial
-		// value there is that share's symbol verbatim.
+		// value there is that share's symbol column verbatim.
 		direct := -1
 		for j := range pts {
 			if pts[j] == tp {
@@ -207,7 +294,7 @@ func (c *Codec) Decode(shares []Share) ([]byte, error) {
 			}
 		}
 		if direct >= 0 {
-			row[direct] = 1
+			copy(out, cols[direct*stripes:(direct+1)*stripes])
 		} else {
 			full := gf16.Elem(1)
 			for m := 0; m < c.k; m++ {
@@ -216,34 +303,34 @@ func (c *Codec) Decode(shares []Share) ([]byte, error) {
 			for j := 0; j < c.k; j++ {
 				row[j] = gf16.Mul(gf16.Mul(full, w[j]), gf16.Inv(gf16.Add(tp, pts[j])))
 			}
-		}
-		dec[t] = row
-	}
-	sym := make([]gf16.Elem, c.k)
-	for s := 0; s < stripes; s++ {
-		for j := 0; j < c.k; j++ {
-			sym[j] = gf16.Elem(binary.BigEndian.Uint16(chosen[j].Data[2*s:]))
-		}
-		for t := 0; t < c.k; t++ {
-			var acc gf16.Elem
-			row := dec[t]
+			clearElems(out)
 			for j := 0; j < c.k; j++ {
-				acc = gf16.Add(acc, gf16.Mul(row[j], sym[j]))
+				gf16.MulAddSlice(row[j], out, cols[j*stripes:(j+1)*stripes])
 			}
-			binary.BigEndian.PutUint16(framed[2*(s*c.k+t):], uint16(acc))
+		}
+		// Scatter data column t back into the framed stripe grid.
+		for st, v := range out {
+			framed[2*(st*c.k+t)] = byte(v >> 8)
+			framed[2*(st*c.k+t)+1] = byte(v)
 		}
 	}
 	return unframe(framed)
 }
 
 // selectShares validates the provided shares and returns k of them sorted by
-// index.
-func (c *Codec) selectShares(shares []Share) ([]Share, error) {
-	seen := make(map[int]bool, len(shares))
-	valid := make([]Share, 0, len(shares))
-	var size = -1
+// index. The returned slice aliases s.chosen and is valid until s is reused.
+func (c *Codec) selectShares(s *scratch, shares []Share) ([]Share, error) {
+	if cap(s.seen) < c.n {
+		s.seen = make([]bool, c.n)
+	} else {
+		s.seen = s.seen[:c.n]
+		clearBools(s.seen)
+	}
+	valid := s.chosen[:0]
+	size := -1
+	sorted := true
 	for _, sh := range shares {
-		if sh.Index < 0 || sh.Index >= c.n || seen[sh.Index] {
+		if sh.Index < 0 || sh.Index >= c.n || s.seen[sh.Index] {
 			return nil, fmt.Errorf("%w: bad or duplicate index %d", ErrShareMismatch, sh.Index)
 		}
 		if len(sh.Data) == 0 || len(sh.Data)%2 != 0 {
@@ -254,13 +341,21 @@ func (c *Codec) selectShares(shares []Share) ([]Share, error) {
 		} else if len(sh.Data) != size {
 			return nil, fmt.Errorf("%w: share lengths differ", ErrShareMismatch)
 		}
-		seen[sh.Index] = true
+		if len(valid) > 0 && valid[len(valid)-1].Index > sh.Index {
+			sorted = false
+		}
+		s.seen[sh.Index] = true
 		valid = append(valid, sh)
 	}
+	s.chosen = valid[:0:cap(valid)] // remember a grown backing array
 	if len(valid) < c.k {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShares, len(valid), c.k)
 	}
-	sort.Slice(valid, func(i, j int) bool { return valid[i].Index < valid[j].Index })
+	// The protocol layer hands shares in index order (it collects them into
+	// per-index slots), so the sort is usually a no-op we can skip.
+	if !sorted {
+		sort.Slice(valid, func(i, j int) bool { return valid[i].Index < valid[j].Index })
+	}
 	return valid[:c.k], nil
 }
 
@@ -275,4 +370,45 @@ func unframe(framed []byte) ([]byte, error) {
 	out := make([]byte, n)
 	copy(out, framed[4:4+n])
 	return out, nil
+}
+
+// packBE writes src as big-endian 16-bit symbols into dst.
+func packBE(dst []byte, src []gf16.Elem) {
+	for i, v := range src {
+		dst[2*i] = byte(v >> 8)
+		dst[2*i+1] = byte(v)
+	}
+}
+
+// unpackBE reads len(dst) big-endian 16-bit symbols from src into dst.
+func unpackBE(dst []gf16.Elem, src []byte) {
+	for i := range dst {
+		dst[i] = gf16.Elem(uint16(src[2*i])<<8 | uint16(src[2*i+1]))
+	}
+}
+
+func resizeElems(buf *[]gf16.Elem, n int) []gf16.Elem {
+	if cap(*buf) < n {
+		*buf = make([]gf16.Elem, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func clearElems(s []gf16.Elem) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+func clearBytes(s []byte) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+func clearBools(s []bool) {
+	for i := range s {
+		s[i] = false
+	}
 }

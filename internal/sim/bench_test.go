@@ -5,7 +5,18 @@ import "testing"
 // BenchmarkRoundThroughput measures the scheduler's all-to-all round rate:
 // the simulation overhead floor under every protocol benchmark.
 func BenchmarkRoundThroughput_n16(b *testing.B) {
-	const n = 16
+	benchRoundThroughput(b, 16, 5)
+}
+
+// BenchmarkRoundThroughput_n256 is the large-sweep regime where the paper's
+// n²·log²n term dominates; round close must stay O(messages) per round, not
+// O(n²) scan work, for this to scale.
+func BenchmarkRoundThroughput_n256(b *testing.B) {
+	benchRoundThroughput(b, 256, 85)
+}
+
+func benchRoundThroughput(b *testing.B, n, t int) {
+	b.Helper()
 	payload := make([]byte, 64)
 	parties := make([]Party, n)
 	rounds := b.N
@@ -20,7 +31,7 @@ func BenchmarkRoundThroughput_n16(b *testing.B) {
 		}}
 	}
 	b.ResetTimer()
-	if _, err := Run(Config{N: n, T: 5, MaxRounds: rounds + 1}, parties); err != nil {
+	if _, err := Run(Config{N: n, T: t, MaxRounds: rounds + 1}, parties); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -20,12 +20,19 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 )
 
 // Spied is a packet as observed by the rushing adversary: the full routing
 // information of an honest packet in the current, not-yet-delivered round.
+//
+// Immutability contract: the scheduler builds one spied snapshot per round
+// and hands the same slice to every corrupted party that peeks, so Spied
+// values and their Payload bytes are strictly read-only. The payloads are
+// private copies of the honest packets (mutating them cannot corrupt
+// deliveries), but a strategy that writes to them would leak state to other
+// peekers; treat the snapshot as frozen. It remains valid after the round
+// closes — later rounds get fresh snapshots.
 type Spied struct {
 	From    PartyID
 	To      PartyID
@@ -103,17 +110,37 @@ type runner struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	round         int
-	active        []bool // party still running
-	activeHonest  int
-	activeTotal   int
-	submitted     []bool
-	pending       [][]Packet // this round's outgoing packets per party
-	honestPending int        // count of active honest parties that submitted
-	lastInbox     [][]Message
-	failed        error // cutoff or internal failure; broadcast to all
+	round        int
+	active       []bool // party still running
+	activeHonest int
+	activeTotal  int
+	submitted    []bool
+	// submittedCount tracks how many active parties have submitted the
+	// current round, so round close is detected in O(1) per submission
+	// instead of an O(n) scan (O(n²) per round).
+	submittedCount int
+	pending        [][]Packet // this round's outgoing packets per party
+	pendingBuf     [][]Packet // per-party reusable packet backing arrays
+	bcasts         []bcast    // this round's broadcast submissions per party
+	honestPending  int        // count of active honest parties that submitted
+	lastInbox      [][]Message
+	inboxCount     []int // per-recipient packet counts, reused every round
+	// spied is the current round's rushing-adversary snapshot, built at
+	// most once per round on first peek and shared read-only by all
+	// peekers (see the Spied doc comment).
+	spied      []Spied
+	spiedValid bool
+	failed     error // cutoff or internal failure; broadcast to all
 
 	report Report
+}
+
+// bcast is a party's all-to-all submission for one round: the compact form
+// of n identical packets (the transport.BroadcastNet fast path).
+type bcast struct {
+	set     bool
+	tag     string
+	payload []byte
 }
 
 // Env is a party's handle to the network. Each Env is used by exactly one
@@ -149,12 +176,15 @@ func Run(cfg Config, parties []Party) (*Report, error) {
 		cfg.MaxRounds = DefaultMaxRounds
 	}
 	r := &runner{
-		cfg:       cfg,
-		corrupt:   make([]bool, cfg.N),
-		active:    make([]bool, cfg.N),
-		submitted: make([]bool, cfg.N),
-		pending:   make([][]Packet, cfg.N),
-		lastInbox: make([][]Message, cfg.N),
+		cfg:        cfg,
+		corrupt:    make([]bool, cfg.N),
+		active:     make([]bool, cfg.N),
+		submitted:  make([]bool, cfg.N),
+		pending:    make([][]Packet, cfg.N),
+		pendingBuf: make([][]Packet, cfg.N),
+		bcasts:     make([]bcast, cfg.N),
+		lastInbox:  make([][]Message, cfg.N),
+		inboxCount: make([]int, cfg.N),
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.report.BitsByTag = make(map[string]int64)
@@ -221,30 +251,65 @@ func (e *Env) Exchange(out []Packet) ([]Message, error) {
 	r := e.r
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.failed != nil {
-		return nil, r.failed
-	}
-	if !r.active[e.id] {
-		return nil, ErrSimOver
-	}
-	if r.activeHonest == 0 {
-		// Only corrupt parties remain; the protocol instance is over.
-		return nil, ErrSimOver
-	}
-	if r.submitted[e.id] {
-		return nil, fmt.Errorf("sim: party %d submitted round %d twice", e.id, r.round)
+	if err := r.precheck(e.id); err != nil {
+		return nil, err
 	}
 	// Validate destinations; a corrupt party sending out of range is simply
-	// dropped rather than crashing the run.
-	kept := make([]Packet, 0, len(out))
+	// dropped rather than crashing the run. The kept-packet buffer is
+	// reused across rounds: its contents are dead once the round's
+	// deliveries copy the Packet values out.
+	kept := r.pendingBuf[e.id][:0]
 	for _, p := range out {
 		if p.To >= 0 && int(p.To) < r.cfg.N {
 			kept = append(kept, p)
 		}
 	}
+	r.pendingBuf[e.id] = kept
 	r.pending[e.id] = kept
-	r.submitted[e.id] = true
-	if !r.corrupt[e.id] {
+	return r.finishSubmit(e.id)
+}
+
+// ExchangeBroadcast implements transport.BroadcastNet: it completes a round
+// in which this party sends payload to every party (itself included)
+// without materializing the n-packet fan-out. Cost accounting and delivery
+// are identical to Exchange(Broadcast(...)).
+func (e *Env) ExchangeBroadcast(tag string, payload []byte) ([]Message, error) {
+	r := e.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.precheck(e.id); err != nil {
+		return nil, err
+	}
+	r.bcasts[e.id] = bcast{set: true, tag: tag, payload: payload}
+	return r.finishSubmit(e.id)
+}
+
+// precheck validates that the party may submit the current round. Caller
+// holds r.mu.
+func (r *runner) precheck(id PartyID) error {
+	if r.failed != nil {
+		return r.failed
+	}
+	if !r.active[id] {
+		return ErrSimOver
+	}
+	if r.activeHonest == 0 {
+		// Only corrupt parties remain; the protocol instance is over.
+		return ErrSimOver
+	}
+	if r.submitted[id] {
+		return fmt.Errorf("sim: party %d submitted round %d twice", id, r.round)
+	}
+	return nil
+}
+
+// finishSubmit records the submission, closes the round if this was the
+// last missing party, and blocks until the round's inbox is ready. Caller
+// holds r.mu.
+func (r *runner) finishSubmit(id PartyID) ([]Message, error) {
+	r.submitted[id] = true
+	r.submittedCount++
+	if !r.corrupt[id] {
 		r.honestPending++
 	}
 	myRound := r.round
@@ -260,7 +325,7 @@ func (e *Env) Exchange(out []Packet) ([]Message, error) {
 		// party was waiting; the round will never close.
 		return nil, ErrSimOver
 	}
-	return r.lastInbox[e.id], nil
+	return r.lastInbox[id], nil
 }
 
 // PeekHonest implements the rushing adversary: it blocks until every active
@@ -290,18 +355,53 @@ func (e *Env) PeekHonest() ([]Spied, error) {
 		}
 		r.cond.Wait()
 	}
-	var spied []Spied
-	for from := 0; from < r.cfg.N; from++ {
-		if r.corrupt[from] || !r.submitted[from] {
-			continue
+	// Build the snapshot at most once per round; every peeker of this
+	// round shares it read-only (see the Spied doc comment). Payloads are
+	// copied into one flat buffer so a whole snapshot costs two
+	// allocations regardless of how many parties peek.
+	if !r.spiedValid {
+		count, bytes := 0, 0
+		for from := 0; from < r.cfg.N; from++ {
+			if r.corrupt[from] || !r.submitted[from] {
+				continue
+			}
+			if r.bcasts[from].set {
+				count += r.cfg.N
+				bytes += len(r.bcasts[from].payload)
+				continue
+			}
+			count += len(r.pending[from])
+			for _, p := range r.pending[from] {
+				bytes += len(p.Payload)
+			}
 		}
-		for _, p := range r.pending[from] {
-			payload := make([]byte, len(p.Payload))
-			copy(payload, p.Payload)
-			spied = append(spied, Spied{From: PartyID(from), To: p.To, Payload: payload})
+		spied := make([]Spied, 0, count)
+		flat := make([]byte, 0, bytes)
+		for from := 0; from < r.cfg.N; from++ {
+			if r.corrupt[from] || !r.submitted[from] {
+				continue
+			}
+			if b := r.bcasts[from]; b.set {
+				// Expand the broadcast: n entries sharing one payload copy
+				// (the snapshot is read-only, see Spied).
+				off := len(flat)
+				flat = append(flat, b.payload...)
+				payload := flat[off:len(flat):len(flat)]
+				for to := 0; to < r.cfg.N; to++ {
+					spied = append(spied, Spied{From: PartyID(from), To: PartyID(to), Payload: payload})
+				}
+				continue
+			}
+			for _, p := range r.pending[from] {
+				off := len(flat)
+				flat = append(flat, p.Payload...)
+				spied = append(spied, Spied{From: PartyID(from), To: p.To, Payload: flat[off:len(flat):len(flat)]})
+			}
 		}
+		r.spied = spied
+		r.spiedValid = true
 	}
-	return spied, nil
+	return r.spied, nil
 }
 
 // done retires a party. Called exactly once per party, after its behavior
@@ -323,6 +423,8 @@ func (r *runner) done(id PartyID, err error) {
 		// its submission flag should already be clear; reset it anyway.
 		r.submitted[id] = false
 		r.pending[id] = nil
+		r.bcasts[id] = bcast{}
+		r.submittedCount--
 		if !r.corrupt[id] {
 			r.honestPending--
 		}
@@ -332,28 +434,88 @@ func (r *runner) done(id PartyID, err error) {
 }
 
 // maybeFinishRound closes the round if every active party has submitted.
+// The check is O(1) via submittedCount; delivery itself is O(packets + n).
 // Caller holds r.mu.
 func (r *runner) maybeFinishRound() {
 	if r.activeTotal == 0 || r.activeHonest == 0 {
 		return
 	}
-	count := 0
-	for id, sub := range r.submitted {
-		if sub && r.active[id] {
-			count++
-		}
-	}
-	if count < r.activeTotal {
+	if r.submittedCount < r.activeTotal {
 		if r.honestPending == r.activeHonest {
 			r.cond.Broadcast() // honest wave complete: release peekers
 		}
 		return
 	}
-	// Deliver: group packets by recipient, ordered by sender.
-	inboxes := make([][]Message, r.cfg.N)
-	var stats RoundStats
+	// Deliver: group packets by recipient, ordered by sender. Iterating
+	// senders in ascending order appends each recipient's messages already
+	// sender-sorted — no per-inbox sort needed. A counting pass sizes one
+	// flat Message array carved into per-recipient sub-slices; the array
+	// must be fresh each round because parties may legitimately retain
+	// returned inboxes across rounds.
+	counts := r.inboxCount
+	total := 0
 	for from := 0; from < r.cfg.N; from++ {
 		if !r.submitted[from] {
+			continue
+		}
+		if r.bcasts[from].set {
+			for to := range counts {
+				counts[to]++
+			}
+			total += r.cfg.N
+			continue
+		}
+		for _, p := range r.pending[from] {
+			counts[p.To]++
+		}
+		total += len(r.pending[from])
+	}
+	flat := make([]Message, 0, total)
+	inboxes := r.lastInbox
+	off := 0
+	for to := 0; to < r.cfg.N; to++ {
+		inboxes[to] = flat[off : off : off+counts[to]]
+		off += counts[to]
+		counts[to] = 0
+	}
+	var stats RoundStats
+	// Honest tag accounting is amortized over same-tag runs: a sender's
+	// round is typically one broadcast under a single tag, so this turns
+	// one map update per packet into one per sender per tag run.
+	var runTag string
+	var runBits int64
+	flushTagRun := func() {
+		if runBits != 0 {
+			r.report.BitsByTag[runTag] += runBits
+			runBits = 0
+		}
+	}
+	for from := 0; from < r.cfg.N; from++ {
+		if !r.submitted[from] {
+			continue
+		}
+		if b := r.bcasts[from]; b.set {
+			// Compact all-to-all submission: n−1 counted packets (the
+			// self-copy is free) carrying identical payloads.
+			bits := int64(8 * len(b.payload))
+			others := int64(r.cfg.N - 1)
+			r.report.Messages += others
+			stats.Messages += others
+			if r.corrupt[from] {
+				r.report.CorruptBits += bits * others
+				stats.CorruptBits += bits * others
+			} else {
+				r.report.HonestBits += bits * others
+				r.report.BitsByTag[b.tag] += bits * others
+				r.report.BitsByParty[from] += bits * others
+				stats.HonestBits += bits * others
+			}
+			msg := Message{From: PartyID(from), Payload: b.payload}
+			for to := range inboxes {
+				inboxes[to] = append(inboxes[to], msg)
+			}
+			r.bcasts[from] = bcast{}
+			r.submitted[from] = false
 			continue
 		}
 		for _, p := range r.pending[from] {
@@ -366,7 +528,11 @@ func (r *runner) maybeFinishRound() {
 					stats.CorruptBits += bits
 				} else {
 					r.report.HonestBits += bits
-					r.report.BitsByTag[p.Tag] += bits
+					if p.Tag != runTag {
+						flushTagRun()
+						runTag = p.Tag
+					}
+					runBits += bits
 					r.report.BitsByParty[from] += bits
 					stats.HonestBits += bits
 				}
@@ -376,15 +542,15 @@ func (r *runner) maybeFinishRound() {
 		r.pending[from] = nil
 		r.submitted[from] = false
 	}
+	flushTagRun()
 	if r.cfg.Timeline {
 		stats.Round = r.round
 		r.report.Timeline = append(r.report.Timeline, stats)
 	}
-	for to := range inboxes {
-		sort.SliceStable(inboxes[to], func(i, j int) bool { return inboxes[to][i].From < inboxes[to][j].From })
-	}
+	r.submittedCount = 0
 	r.honestPending = 0
-	r.lastInbox = inboxes
+	r.spied = nil // next round's peekers build a fresh snapshot
+	r.spiedValid = false
 	r.round++
 	if r.round > r.cfg.MaxRounds {
 		r.failed = fmt.Errorf("%w: %d rounds", ErrCutoff, r.round)

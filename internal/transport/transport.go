@@ -59,8 +59,24 @@ func Broadcast(net Net, tag string, payload []byte) []Packet {
 	return out
 }
 
-// ExchangeAll broadcasts payload and completes the round.
+// BroadcastNet is an optional fast-path interface: a Net that can complete
+// an all-to-all round from just (tag, payload) without the caller
+// materializing n identical packets. The simulator implements it; real
+// transports fall back to the generic path. Semantics must be identical to
+// Exchange(Broadcast(net, tag, payload)).
+type BroadcastNet interface {
+	Net
+	ExchangeBroadcast(tag string, payload []byte) ([]Message, error)
+}
+
+// ExchangeAll broadcasts payload and completes the round. When the
+// transport implements BroadcastNet the n-packet fan-out slice is never
+// built — on the simulator this removes the dominant per-round allocation
+// of every broadcast-based protocol.
 func ExchangeAll(net Net, tag string, payload []byte) ([]Message, error) {
+	if bn, ok := net.(BroadcastNet); ok {
+		return bn.ExchangeBroadcast(tag, payload)
+	}
 	return net.Exchange(Broadcast(net, tag, payload))
 }
 

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Minimal CI gate: static checks, full build + test, and the race detector
+# over the packages with real concurrency (the lock-step scheduler and the
+# pooled codec). Mirrors `make ci`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (sim, rs)"
+go test -race ./internal/sim/... ./internal/rs/...
+
+echo "CI OK"
