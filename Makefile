@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json ci experiments examples cover clean
+.PHONY: all build vet test race bench bench-json fuzz ci experiments examples cover clean
 
 # Benchmarks that feed the perf-trajectory record (see bench-json).
 BENCH_PKGS = ./internal/gf16/ ./internal/rs/ ./internal/sim/ ./internal/merkle/ ./internal/baplus/
@@ -27,12 +27,19 @@ short:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Re-measure the hot-path benchmarks and refresh BENCH_PR1.json, keeping the
-# pre-optimization seed numbers (benchdata/bench_seed.json) as the "before"
-# section. A per-benchmark speedup summary is printed to stderr.
+# Re-measure the hot-path benchmarks and refresh the PR's perf-trajectory
+# record, keeping the previous PR's numbers as the "before" section. A
+# per-benchmark speedup summary is printed to stderr.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) \
-		| $(GO) run ./cmd/benchjson -before benchdata/bench_seed.json > BENCH_PR1.json
+		| $(GO) run ./cmd/benchjson -before BENCH_PR1.json > BENCH_PR2.json
+
+# Short fuzzing smoke over the panic-free decode surfaces: the stream frame
+# codec and the Π_ℓBA+ tuple decoder. Raise FUZZTIME for a real campaign.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/baplus/
 
 # Minimal CI entry point (vet + build + tests + race on the perf-critical
 # packages); scripts/ci.sh is the same thing for environments without make.

@@ -180,6 +180,10 @@ func corruptBehavior(c Corruption, runner partyRunner, seed int64) (sim.Behavior
 		return adversary.Mirror(seed%2 == 0), nil
 	case AdvSpam:
 		return adversary.Spam(seed, 3), nil
+	case AdvReplay:
+		return adversary.Replay(seed), nil
+	case AdvLateJoin:
+		return adversary.LateJoin(3), nil
 	case AdvGhost:
 		input := c.Input
 		if input == nil {

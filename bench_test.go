@@ -1,4 +1,4 @@
-// Benchmark harness: one benchmark per reproduction experiment (E1–E16 of
+// Benchmark harness: one benchmark per reproduction experiment (E1–E17 of
 // DESIGN.md §3 / EXPERIMENTS.md). Each benchmark prints its experiment's
 // full table once (the same rows cmd/cabench produces) and then times a
 // representative protocol instance, reporting the paper's cost measures as
@@ -311,6 +311,48 @@ func BenchmarkE16_DispersalAblation(b *testing.B) {
 		res = runAgree(b, inputs, ca.Options{Protocol: ca.ProtoOptimalNat, Seed: 16})
 	}
 	reportCost(b, res, ell, n)
+}
+
+// BenchmarkE17_FaultSweep regenerates E17 (robustness under message-level
+// faults) and times one ProtoOptimal run with drops and delays injected on
+// the last party's links via the public fault wrapper.
+func BenchmarkE17_FaultSweep(b *testing.B) {
+	printTable(b, "E17", func() experiments.Table { return experiments.E17FaultSweep(true) })
+	const n = 7
+	cfg := ca.FaultConfig{
+		Seed: 17,
+		Rules: []ca.FaultRule{
+			{Kind: ca.FaultDrop, From: ca.AnyParty, To: n - 1, Prob: 0.25},
+			{Kind: ca.FaultDelay, From: n - 1, To: ca.AnyParty, Prob: 0.25, DelayRounds: 2},
+		},
+		MaxRounds: 4000,
+	}
+	for i := 0; i < b.N; i++ {
+		locals, err := ca.NewLocalCluster(n, (n-1)/3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for p, l := range locals {
+			tr := ca.WrapFaulty(l, cfg)
+			wg.Add(1)
+			go func(p int, l *ca.LocalTransport, tr *ca.FaultyTransport) {
+				defer wg.Done()
+				// Early finishers must leave the lock-step cluster.
+				defer l.Close()
+				_, errs[p] = ca.RunParty(tr, ca.ProtoOptimal, 0, big.NewInt(int64(990+p)))
+			}(p, l, tr)
+		}
+		wg.Wait()
+		// All faults target party n−1 (within the t budget); the clean
+		// parties must finish without error.
+		for p := 0; p < n-1; p++ {
+			if errs[p] != nil {
+				b.Fatal(errs[p])
+			}
+		}
+	}
 }
 
 // BenchmarkE10_AdversaryAblation regenerates E10 (communication stability

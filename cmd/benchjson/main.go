@@ -77,8 +77,26 @@ func orderedJSON(v any) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
+// parseBaseline accepts either benchjson output form: the flat map of a
+// bare run, or the nested {"before": ..., "after": ...} of a checked-in
+// comparison — in which case the previous run's "after" numbers are the
+// new baseline, chaining PR-over-PR.
+func parseBaseline(raw []byte) (map[string]*metrics, error) {
+	var nested struct {
+		After map[string]*metrics `json:"after"`
+	}
+	if err := json.Unmarshal(raw, &nested); err == nil && len(nested.After) > 0 {
+		return nested.After, nil
+	}
+	var flat map[string]*metrics
+	if err := json.Unmarshal(raw, &flat); err != nil {
+		return nil, err
+	}
+	return flat, nil
+}
+
 func main() {
-	before := flag.String("before", "", "path to a previous flat benchjson output to embed as the \"before\" section")
+	before := flag.String("before", "", "path to a previous benchjson output (flat or {before,after}) whose latest numbers become the \"before\" section")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -100,8 +118,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		var baseline map[string]*metrics
-		if err := json.Unmarshal(raw, &baseline); err != nil {
+		baseline, err := parseBaseline(raw)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *before, err)
 			os.Exit(1)
 		}

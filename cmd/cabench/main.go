@@ -1,4 +1,4 @@
-// Command cabench regenerates the reproduction experiments E1–E16 (see
+// Command cabench regenerates the reproduction experiments E1–E17 (see
 // DESIGN.md §3 and EXPERIMENTS.md): each experiment turns one complexity
 // theorem of "Communication-Optimal Convex Agreement" into a measured
 // table on the built-in synchronous network simulator.
@@ -7,7 +7,7 @@
 //
 //	cabench [-quick] [-labels] [experiment ...]
 //
-// With no arguments every experiment runs. Experiment names are E1..E16
+// With no arguments every experiment runs. Experiment names are E1..E17
 // (case-insensitive). -quick shrinks parameter ranges for a fast pass;
 // -labels dumps the heaviest per-subprotocol cost labels of one run;
 // -json emits machine-readable tables.

@@ -94,6 +94,12 @@ const (
 	AdvMirror AdversaryKind = "mirror"
 	// AdvSpam sends duplicated and mutated copies of honest payloads.
 	AdvSpam AdversaryKind = "spam"
+	// AdvReplay rushes, records honest payloads, and resends them verbatim
+	// in later rounds — stale but well-formed evidence.
+	AdvReplay AdversaryKind = "replay"
+	// AdvLateJoin stays dark for a few rounds, then rejoins by mirroring
+	// current honest traffic, like a restarted party.
+	AdvLateJoin AdversaryKind = "late-join"
 	// AdvGhost runs the honest protocol with an adversarially chosen input
 	// (Corruption.Input) — the canonical attack on convex validity, the
 	// paper's +100°C sensor.
@@ -102,7 +108,7 @@ const (
 
 // AdversaryKinds lists every built-in strategy.
 func AdversaryKinds() []AdversaryKind {
-	return []AdversaryKind{AdvSilent, AdvCrash, AdvGarbage, AdvEquivocate, AdvMirror, AdvSpam, AdvGhost}
+	return []AdversaryKind{AdvSilent, AdvCrash, AdvGarbage, AdvEquivocate, AdvMirror, AdvSpam, AdvReplay, AdvLateJoin, AdvGhost}
 }
 
 // Corruption assigns a strategy to one corrupted party.

@@ -173,6 +173,74 @@ func Spam(seed int64, copies int) sim.Behavior {
 	}
 }
 
+// Replay rushes each round, records every honest payload it sees, and sends
+// parties payloads replayed verbatim from *earlier* rounds. The messages are
+// perfectly well-formed for the round they were stolen from, so this attacks
+// round-binding: a protocol that does not tie payloads to the round that
+// produced them will double-count stale evidence.
+func Replay(seed int64) sim.Behavior {
+	return func(env *sim.Env) error {
+		rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+		var history [][]byte
+		for {
+			spied, err := env.PeekHonest()
+			if err != nil {
+				return err
+			}
+			var out []sim.Packet
+			if len(history) > 0 {
+				for to := 0; to < env.N(); to++ {
+					out = append(out, sim.Packet{
+						To:      sim.PartyID(to),
+						Tag:     tag,
+						Payload: history[rng.Intn(len(history))],
+					})
+				}
+			}
+			for _, s := range spied {
+				history = append(history, s.Payload)
+			}
+			if _, err := env.Exchange(out); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// LateJoin stays dark for `rounds` rounds — indistinguishable from a crash —
+// and then starts participating by mirroring current honest traffic. It
+// models a partitioned or restarted party rejoining mid-protocol: honest
+// code must neither have written it off permanently nor let its sudden
+// reappearance inject weight into decisions already underway.
+func LateJoin(rounds int) sim.Behavior {
+	return func(env *sim.Env) error {
+		for r := 0; r < rounds; r++ {
+			if _, err := env.ExchangeNone(); err != nil {
+				return err
+			}
+		}
+		for {
+			spied, err := env.PeekHonest()
+			if err != nil {
+				return err
+			}
+			byTo := make(map[sim.PartyID][]byte)
+			for _, s := range spied {
+				if _, ok := byTo[s.To]; !ok {
+					byTo[s.To] = s.Payload
+				}
+			}
+			out := make([]sim.Packet, 0, len(byTo))
+			for to, payload := range byTo {
+				out = append(out, sim.Packet{To: to, Tag: tag, Payload: payload})
+			}
+			if _, err := env.Exchange(out); err != nil {
+				return err
+			}
+		}
+	}
+}
+
 // Strategy names a reusable adversary constructor for parameter sweeps.
 type Strategy struct {
 	Name  string
@@ -190,5 +258,7 @@ func Catalog() []Strategy {
 		{Name: "mirror-first", Build: func(int64) sim.Behavior { return Mirror(false) }},
 		{Name: "mirror-last", Build: func(int64) sim.Behavior { return Mirror(true) }},
 		{Name: "spam", Build: func(seed int64) sim.Behavior { return Spam(seed, 3) }},
+		{Name: "replay", Build: func(seed int64) sim.Behavior { return Replay(seed) }},
+		{Name: "late-join", Build: func(int64) sim.Behavior { return LateJoin(3) }},
 	}
 }

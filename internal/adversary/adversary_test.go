@@ -108,9 +108,48 @@ func TestSpamSendsManyCopies(t *testing.T) {
 	}
 }
 
+func TestReplayResendsStalePayloads(t *testing.T) {
+	rounds := harness(t, adversary.Replay(5), 4)
+	if len(rounds[0]) != 0 {
+		t.Fatalf("round 0: replayed %d messages before seeing any", len(rounds[0]))
+	}
+	for r := 1; r < len(rounds); r++ {
+		if len(rounds[r]) == 0 {
+			t.Fatalf("round %d: replay adversary sent nothing", r)
+		}
+		for _, m := range rounds[r] {
+			// Replayed payloads are honest-shaped but stamped with a
+			// strictly earlier round.
+			if len(m.Payload) != 2 || m.Payload[0] < 0x30 || m.Payload[0] > 0x32 {
+				t.Fatalf("round %d: non-honest-shaped replay %v", r, m.Payload)
+			}
+			if int(m.Payload[1]) >= r {
+				t.Fatalf("round %d: replayed payload stamped round %d (not stale)", r, m.Payload[1])
+			}
+		}
+	}
+}
+
+func TestLateJoinDarkThenActive(t *testing.T) {
+	const dark = 2
+	rounds := harness(t, adversary.LateJoin(dark), 5)
+	for r := 0; r < dark; r++ {
+		if len(rounds[r]) != 0 {
+			t.Fatalf("round %d: late joiner sent %d messages while dark", r, len(rounds[r]))
+		}
+	}
+	sent := 0
+	for r := dark; r < len(rounds); r++ {
+		sent += len(rounds[r])
+	}
+	if sent == 0 {
+		t.Fatal("late joiner never joined")
+	}
+}
+
 func TestCatalogCoversAllStrategies(t *testing.T) {
 	cat := adversary.Catalog()
-	if len(cat) < 7 {
+	if len(cat) < 9 {
 		t.Fatalf("catalog has %d strategies", len(cat))
 	}
 	seen := map[string]bool{}

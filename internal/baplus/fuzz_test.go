@@ -1,0 +1,47 @@
+package baplus
+
+import (
+	"bytes"
+	"testing"
+
+	"convexagreement/internal/merkle"
+)
+
+// FuzzDecode drives the Π_ℓBA+ dispersal-tuple decoder with arbitrary
+// bytes: it must never panic, must fail closed on malformed input, and any
+// accepted parse must survive a canonical re-encode → re-decode round trip.
+// Seeds are golden vectors from encodeTuple, the exact producer whose output
+// byzantine parties mutate on the wire.
+func FuzzDecode(f *testing.F) {
+	tree, err := merkle.Build([][]byte{[]byte("s0"), []byte("s1"), []byte("s2"), []byte("s3")})
+	if err != nil {
+		f.Fatal(err)
+	}
+	wit, err := tree.Witness(2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(encodeTuple(2, []byte("s2"), wit))
+	f.Add(encodeTuple(0, nil, nil))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 20))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		idx, share, witness, ok := decodeTuple(raw)
+		if !ok {
+			return
+		}
+		if idx < 0 {
+			t.Fatalf("accepted negative index %d", idx)
+		}
+		idx2, share2, witness2, ok2 := decodeTuple(encodeTuple(idx, share, witness))
+		if !ok2 || idx2 != idx || !bytes.Equal(share2, share) || len(witness2) != len(witness) {
+			t.Fatalf("re-encode round trip diverged: ok=%v idx %d→%d", ok2, idx, idx2)
+		}
+		for i := range witness2 {
+			if witness2[i] != witness[i] {
+				t.Fatalf("witness digest %d changed across round trip", i)
+			}
+		}
+	})
+}

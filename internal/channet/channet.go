@@ -102,6 +102,31 @@ func (h *Hub) Close() {
 	h.cond.Broadcast()
 }
 
+// Disconnect forcibly retires party id from outside — the hub-side analogue
+// of a crashed process. The party's pending submission (if any) is
+// discarded, remaining parties' rounds keep closing, and the party's own
+// next Exchange returns ErrClosed. Safe to call at any time, including for
+// already-departed parties.
+func (h *Hub) Disconnect(id int) {
+	if id < 0 || id >= h.n {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.active[id] {
+		return
+	}
+	h.active[id] = false
+	h.nActive--
+	if h.submitted[id] {
+		h.submitted[id] = false
+		h.pending[id] = nil
+		h.nPending--
+	}
+	h.maybeFlush()
+	h.cond.Broadcast()
+}
+
 // Conn is one party's handle; it implements transport.Net.
 type Conn struct {
 	hub  *Hub

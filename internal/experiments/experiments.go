@@ -90,6 +90,7 @@ func All(quick bool) []Table {
 		E14VectorScaling(quick),
 		E15LoadBalance(quick),
 		E16DispersalAblation(quick),
+		E17FaultSweep(quick),
 	}
 }
 
@@ -128,6 +129,8 @@ func ByID(id string, quick bool) (Table, error) {
 		return E15LoadBalance(quick), nil
 	case "E16":
 		return E16DispersalAblation(quick), nil
+	case "E17":
+		return E17FaultSweep(quick), nil
 	default:
 		return Table{}, fmt.Errorf("experiments: unknown experiment %q", id)
 	}

@@ -1,13 +1,17 @@
-package channet_test
+package faultnet_test
 
 import (
 	"testing"
 
 	"convexagreement/internal/channet"
+	"convexagreement/internal/faultnet"
 	"convexagreement/internal/transport"
 	"convexagreement/internal/transporttest"
 )
 
+// TestConformance runs the full transport contract battery over
+// faultnet-wrapped channet handles with all faults disabled: the wrapper
+// must be semantically invisible.
 func TestConformance(t *testing.T) {
 	transporttest.Conformance(t, func(t *testing.T, n, tc int, fns []func(net transport.Net) error) {
 		t.Helper()
@@ -15,12 +19,22 @@ func TestConformance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := hub.Run(fns); err != nil {
+		plan := &faultnet.Plan{Seed: 1}
+		wrapped := make([]func(net transport.Net) error, n)
+		for i := range fns {
+			fn := fns[i]
+			wrapped[i] = func(net transport.Net) error {
+				return fn(faultnet.Wrap(net, plan))
+			}
+		}
+		if err := hub.Run(wrapped); err != nil {
 			t.Fatal(err)
 		}
 	})
 }
 
+// TestConformanceFaults runs the fault-tolerance battery over the wrapped
+// transport: injected-fault machinery must not break graceful degradation.
 func TestConformanceFaults(t *testing.T) {
 	transporttest.ConformanceFaults(t, func(t *testing.T, n, tc int, fns []func(net transport.Net, leave func()) error) {
 		t.Helper()
@@ -28,11 +42,12 @@ func TestConformanceFaults(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		plan := &faultnet.Plan{Seed: 2}
 		wrapped := make([]func(net transport.Net) error, n)
 		for i := range fns {
 			id, fn := i, fns[i]
 			wrapped[i] = func(net transport.Net) error {
-				return fn(net, func() { hub.Disconnect(id) })
+				return fn(faultnet.Wrap(net, plan), func() { hub.Disconnect(id) })
 			}
 		}
 		if err := hub.Run(wrapped); err != nil {

@@ -1,0 +1,73 @@
+package faultnet
+
+// Scenario names a reusable fault pattern for sweeps: given the cluster
+// size and the set of parties designated to absorb faults, Build returns
+// the plan. Concentrating every injected fault on the links incident to the
+// faulty set keeps the run inside the model: a network fault on a link is
+// attributed to the faulty endpoint, so as long as |faulty| ≤ t the
+// protocol's guarantees must hold among the remaining clean parties.
+type Scenario struct {
+	Name string
+	// Build returns the plan for an n-party cluster whose parties in
+	// faulty (|faulty| ≤ t) absorb every injected fault.
+	Build func(n int, faulty []int, seed int64) *Plan
+}
+
+// Scenarios returns the named fault catalog used by the E17 fault sweep and
+// the conformance tests: drops, delays beyond Δ, duplication, corruption, a
+// healing partition, and crash/restart windows.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "drop", Build: func(n int, faulty []int, seed int64) *Plan {
+			p := &Plan{Seed: seed}
+			for _, f := range faulty {
+				p.Rules = append(p.Rules,
+					Rule{Kind: Drop, From: f, To: Any, Prob: 0.3},
+					Rule{Kind: Drop, From: Any, To: f, Prob: 0.2})
+			}
+			return p
+		}},
+		{Name: "delay", Build: func(n int, faulty []int, seed int64) *Plan {
+			p := &Plan{Seed: seed}
+			for _, f := range faulty {
+				p.Rules = append(p.Rules,
+					Rule{Kind: Delay, From: f, To: Any, Prob: 0.4, DelayRounds: 1},
+					Rule{Kind: Delay, From: f, To: Any, Prob: 0.15, DelayRounds: 3})
+			}
+			return p
+		}},
+		{Name: "duplicate", Build: func(n int, faulty []int, seed int64) *Plan {
+			p := &Plan{Seed: seed}
+			for _, f := range faulty {
+				p.Rules = append(p.Rules,
+					Rule{Kind: Duplicate, From: f, To: Any, Prob: 0.5},
+					Rule{Kind: Duplicate, From: Any, To: f, Prob: 0.3})
+			}
+			return p
+		}},
+		{Name: "corrupt", Build: func(n int, faulty []int, seed int64) *Plan {
+			p := &Plan{Seed: seed}
+			for _, f := range faulty {
+				p.Rules = append(p.Rules,
+					Rule{Kind: Corrupt, From: f, To: Any, Prob: 0.4})
+			}
+			return p
+		}},
+		{Name: "partition-heal", Build: func(n int, faulty []int, seed int64) *Plan {
+			// The faulty group is split off for four rounds, then the
+			// partition heals and traffic resumes.
+			return &Plan{Seed: seed, Partitions: []Partition{
+				{FromRound: 2, ToRound: 6, GroupA: append([]int(nil), faulty...)},
+			}}
+		}},
+		{Name: "crash-restart", Build: func(n int, faulty []int, seed int64) *Plan {
+			p := &Plan{Seed: seed}
+			for i, f := range faulty {
+				// Staggered windows: each faulty party is dark for three
+				// rounds and then restarts.
+				p.Crashes = append(p.Crashes, Crash{Party: f, FromRound: 2 + i, ToRound: 5 + i})
+			}
+			return p
+		}},
+	}
+}

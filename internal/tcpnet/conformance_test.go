@@ -3,6 +3,7 @@ package tcpnet_test
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"convexagreement/internal/transport"
 	"convexagreement/internal/transporttest"
@@ -19,6 +20,35 @@ func TestConformance(t *testing.T) {
 			go func(i int) {
 				defer wg.Done()
 				errs[i] = fns[i](conns[i])
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("party %d: %v", i, err)
+			}
+		}
+	})
+}
+
+// TestConformanceFaults runs the fault-tolerance battery with a small Δ so
+// the stall case actually blows the synchrony bound; a party's departure is
+// a hard connection close, as a crashed process would produce.
+func TestConformanceFaults(t *testing.T) {
+	transporttest.ConformanceFaults(t, func(t *testing.T, n, tc int, fns []func(net transport.Net, leave func()) error) {
+		t.Helper()
+		cfgs := newCluster(t, n, tc)
+		for i := range cfgs {
+			cfgs[i].Delta = 300 * time.Millisecond
+		}
+		conns := dialAll(t, cfgs)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = fns[i](conns[i], func() { conns[i].Close() })
 			}(i)
 		}
 		wg.Wait()

@@ -11,6 +11,22 @@
 // arrived from all peers or after the Δ timeout — a peer that misses Δ is
 // treated as silent for that round, exactly the adversary's omission power.
 //
+// Links degrade gracefully rather than fail the run. Each pairwise link is
+// a small state machine (up → down → up, or → silent):
+//
+//   - An I/O failure (reset, idle timeout derived from Δ, write error) marks
+//     the link down. Down peers stop being waited for, so rounds keep
+//     closing at full speed. The dialing side (the party with the higher
+//     id) re-dials with bounded exponential backoff plus jitter and
+//     re-handshakes; the accepting side keeps its listener open for the
+//     whole run and re-accepts. A restored link resumes at the current
+//     round — the outage reads as omission, never corruption.
+//   - A protocol violation (garbled or oversized frame, wire.ErrFrame)
+//     marks the peer silent for the rest of the run: a peer that speaks
+//     nonsense is misbehaving, not unlucky, and reconnecting to it would
+//     hand it another chance to wedge the round loop. Silent peers are
+//     reported by Faulty.
+//
 // There is no cost accounting here (BITS/ROUNDS measurements live in the
 // simulator); this transport exists to demonstrate and test deployment.
 package tcpnet
@@ -18,6 +34,7 @@ package tcpnet
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -39,8 +56,17 @@ type Config struct {
 	Delta time.Duration
 	// DialTimeout bounds mesh establishment. Default 10s.
 	DialTimeout time.Duration
+	// ReconnectAttempts bounds how many times the dialing side re-dials a
+	// broken link before demoting the peer to silent for the run.
+	// 0 means the default (5); negative disables reconnection.
+	ReconnectAttempts int
+	// ReconnectBase is the first reconnect backoff; it doubles per
+	// attempt with up to +100% jitter. Default 50ms.
+	ReconnectBase time.Duration
 	// Listener optionally supplies a pre-bound listener for Addrs[ID]
-	// (tests bind port 0 first and pass the resolved listener in).
+	// (tests bind port 0 first and pass the resolved listener in). The
+	// listener stays open for the lifetime of the Conn — re-handshakes
+	// after a link failure arrive on it — and is closed by Conn.Close.
 	Listener net.Listener
 }
 
@@ -53,20 +79,41 @@ var (
 // maxFrame bounds a single round frame from one peer (64 MiB).
 const maxFrame = 64 << 20
 
+// linkState tracks one pairwise connection's health.
+type linkState uint8
+
+const (
+	linkDown   linkState = iota // not (or no longer) connected; reconnect may restore it
+	linkUp                      // connected, counted toward round quorum
+	linkSilent                  // demoted for the run (violation or exhausted retries)
+)
+
+// link is one peer's connection slot. All fields are guarded by Conn.mu.
+// gen increments every time conn is replaced or torn down, so goroutines
+// holding an old conn recognize their view is stale and stand down.
+type link struct {
+	conn         net.Conn
+	state        linkState
+	gen          uint64
+	reconnecting bool
+}
+
 // Conn is one party's handle to the TCP mesh. It implements transport.Net.
 type Conn struct {
-	cfg   Config
-	n     int
-	peers []net.Conn // index by party id; nil at own id
+	cfg Config
+	n   int
 
 	mu      sync.Mutex
 	cond    *sync.Cond
+	links   []link // indexed by party id; own id unused
+	inbound map[net.Conn]struct{}
 	byRound map[uint64]map[int][]transport.Message
 	round   uint64
 	closed  bool
-	readErr map[int]error
 
-	wg sync.WaitGroup
+	listener net.Listener
+	done     chan struct{}
+	wg       sync.WaitGroup
 }
 
 var _ transport.Net = (*Conn)(nil)
@@ -88,12 +135,22 @@ func Dial(cfg Config) (*Conn, error) {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 10 * time.Second
 	}
+	switch {
+	case cfg.ReconnectAttempts == 0:
+		cfg.ReconnectAttempts = 5
+	case cfg.ReconnectAttempts < 0:
+		cfg.ReconnectAttempts = 0
+	}
+	if cfg.ReconnectBase <= 0 {
+		cfg.ReconnectBase = 50 * time.Millisecond
+	}
 	c := &Conn{
 		cfg:     cfg,
 		n:       n,
-		peers:   make([]net.Conn, n),
+		links:   make([]link, n),
+		inbound: make(map[net.Conn]struct{}),
 		byRound: make(map[uint64]map[int][]transport.Message),
-		readErr: make(map[int]error),
+		done:    make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
 
@@ -105,39 +162,12 @@ func Dial(cfg Config) (*Conn, error) {
 			return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.Addrs[cfg.ID], err)
 		}
 	}
-	deadline := time.Now().Add(cfg.DialTimeout)
-
-	// Accept from higher ids.
-	var acceptErr error
-	var acceptWG sync.WaitGroup
-	expect := n - 1 - cfg.ID
-	if expect > 0 {
-		acceptWG.Add(1)
-		go func() {
-			defer acceptWG.Done()
-			for got := 0; got < expect; got++ {
-				if d, ok := ln.(*net.TCPListener); ok {
-					if err := d.SetDeadline(deadline); err != nil {
-						acceptErr = err
-						return
-					}
-				}
-				conn, err := ln.Accept()
-				if err != nil {
-					acceptErr = err
-					return
-				}
-				// Handshake: the dialer announces its id.
-				id, err := readHandshake(conn, deadline)
-				if err != nil || id <= cfg.ID || id >= n || c.peers[id] != nil {
-					conn.Close()
-					got--
-					continue
-				}
-				c.peers[id] = conn
-			}
-		}()
+	c.listener = ln
+	if ln != nil {
+		c.wg.Add(1)
+		go c.acceptLoop(ln)
 	}
+	deadline := time.Now().Add(cfg.DialTimeout)
 
 	// Dial lower ids (with retries while their listeners come up).
 	for j := 0; j < cfg.ID; j++ {
@@ -151,39 +181,106 @@ func Dial(cfg Config) (*Conn, error) {
 			time.Sleep(50 * time.Millisecond)
 		}
 		if err != nil {
-			c.closePeers()
+			c.Close()
 			return nil, fmt.Errorf("tcpnet: dial party %d at %s: %w", j, cfg.Addrs[j], err)
 		}
 		if err := writeHandshake(conn, cfg.ID, deadline); err != nil {
 			conn.Close()
-			c.closePeers()
+			c.Close()
 			return nil, fmt.Errorf("tcpnet: handshake with party %d: %w", j, err)
 		}
-		c.peers[j] = conn
+		c.installLink(j, conn)
 	}
-	acceptWG.Wait()
-	if ln != nil && cfg.Listener == nil {
-		ln.Close() // mesh complete; tests own their passed-in listeners
+
+	// Wait for higher ids to dial in.
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	c.mu.Lock()
+	for c.missingPeer() >= 0 && time.Now().Before(deadline) && !c.closed {
+		c.cond.Wait()
 	}
-	if acceptErr != nil {
-		c.closePeers()
-		return nil, fmt.Errorf("tcpnet: accepting peers: %w", acceptErr)
-	}
-	for j := 0; j < n; j++ {
-		if j != cfg.ID && c.peers[j] == nil {
-			c.closePeers()
-			return nil, fmt.Errorf("tcpnet: no connection to party %d", j)
-		}
-	}
-	// One reader goroutine per peer.
-	for j := 0; j < n; j++ {
-		if j == cfg.ID {
-			continue
-		}
-		c.wg.Add(1)
-		go c.readLoop(j)
+	missing := c.missingPeer()
+	c.mu.Unlock()
+	timer.Stop()
+	if missing >= 0 {
+		c.Close()
+		return nil, fmt.Errorf("tcpnet: no connection to party %d", missing)
 	}
 	return c, nil
+}
+
+// missingPeer returns the lowest peer id that has never connected (gen 0),
+// or -1 when the mesh has been complete at least momentarily. Caller holds
+// c.mu.
+func (c *Conn) missingPeer() int {
+	for j := 0; j < c.n; j++ {
+		if j != c.cfg.ID && c.links[j].gen == 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// installLink records a fresh connection for peer and starts its reader.
+func (c *Conn) installLink(peer int, conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l := &c.links[peer]
+	if c.closed || l.state == linkSilent {
+		conn.Close()
+		return
+	}
+	if l.conn != nil {
+		// The peer reconnected before we noticed the old connection die;
+		// the new one supersedes it.
+		l.conn.Close()
+	}
+	l.conn = conn
+	l.state = linkUp
+	l.gen++
+	c.wg.Add(1)
+	go c.readLoop(peer, l.gen, conn)
+	c.cond.Broadcast()
+}
+
+// acceptLoop accepts (and re-accepts) connections from higher-id peers for
+// the lifetime of the Conn.
+func (c *Conn) acceptLoop(ln net.Listener) {
+	defer c.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go c.handleInbound(conn)
+	}
+}
+
+// handleInbound authenticates one inbound connection by its handshake and
+// installs it as the peer's link. Garbage handshakes are dropped without
+// disturbing the mesh.
+func (c *Conn) handleInbound(conn net.Conn) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.inbound[conn] = struct{}{} // so Close can unblock the handshake read
+	c.mu.Unlock()
+	id, err := readHandshake(conn, time.Now().Add(c.cfg.DialTimeout))
+	c.mu.Lock()
+	delete(c.inbound, conn)
+	closed := c.closed
+	c.mu.Unlock()
+	if closed || err != nil || id <= c.cfg.ID || id >= c.n {
+		conn.Close()
+		return
+	}
+	c.installLink(id, conn)
 }
 
 // ID returns this party's identifier.
@@ -195,9 +292,40 @@ func (c *Conn) N() int { return c.n }
 // T returns the corruption budget.
 func (c *Conn) T() int { return c.cfg.T }
 
+// Faulty returns the peers demoted to silent for the run — either caught
+// violating the framing protocol or unreachable after all reconnect
+// attempts. The slice is ordered by party id.
+func (c *Conn) Faulty() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for j := range c.links {
+		if c.links[j].state == linkSilent {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// BreakLink forcibly closes the current connection to peer, as a network
+// fault would; the reconnect machinery then tries to restore it. It is a
+// test hook for exercising degradation paths.
+func (c *Conn) BreakLink(peer int) {
+	if peer < 0 || peer >= c.n || peer == c.cfg.ID {
+		return
+	}
+	c.mu.Lock()
+	conn := c.links[peer].conn
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close() // the read loop observes the failure and drives the state machine
+	}
+}
+
 // Exchange implements one synchronous round: it ships this round's packets
-// to every peer (an empty frame to peers with none), waits up to Delta for
-// all peers' frames, and returns the delivered messages sorted by sender.
+// to every up peer (an empty frame to peers with none), waits up to Delta
+// for all up peers' frames, and returns the delivered messages sorted by
+// sender.
 func (c *Conn) Exchange(out []transport.Packet) ([]transport.Message, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -223,11 +351,9 @@ func (c *Conn) Exchange(out []transport.Packet) ([]transport.Message, error) {
 		if j == c.cfg.ID {
 			continue
 		}
-		if err := c.writeFrame(j, r, perDest[j]); err != nil {
-			// A broken peer link is that peer's problem (it becomes
-			// silent); keep the round going for everyone else.
-			continue
-		}
+		// A broken peer link is that peer's problem (it goes down or
+		// silent); the round keeps going for everyone else.
+		c.writeFrame(j, r, perDest[j])
 	}
 
 	deadline := time.Now().Add(c.cfg.Delta)
@@ -260,13 +386,20 @@ func (c *Conn) Exchange(out []transport.Packet) ([]transport.Message, error) {
 	return msgs, nil
 }
 
-// expectedPeers counts peers that have not failed permanently. Caller holds
-// c.mu.
+// expectedPeers counts peers the round should wait for: only links that are
+// up. Down peers would cost a full Δ every round; silent peers are gone for
+// good. Caller holds c.mu.
 func (c *Conn) expectedPeers() int {
-	return c.n - 1 - len(c.readErr)
+	exp := 0
+	for j := range c.links {
+		if j != c.cfg.ID && c.links[j].state == linkUp {
+			exp++
+		}
+	}
+	return exp
 }
 
-// Close tears down the mesh.
+// Close tears down the mesh, unblocking any Exchange in flight.
 func (c *Conn) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -274,30 +407,41 @@ func (c *Conn) Close() error {
 		return nil
 	}
 	c.closed = true
+	close(c.done)
+	for j := range c.links {
+		if c.links[j].conn != nil {
+			c.links[j].conn.Close()
+			c.links[j].conn = nil
+		}
+		c.links[j].gen++
+	}
+	for conn := range c.inbound {
+		conn.Close()
+	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
-	c.closePeers()
+	if c.listener != nil {
+		c.listener.Close()
+	}
 	c.wg.Wait()
 	return nil
 }
 
-func (c *Conn) closePeers() {
-	for _, p := range c.peers {
-		if p != nil {
-			p.Close()
-		}
-	}
-}
-
-func (c *Conn) readLoop(peer int) {
+// readLoop consumes frames from one connection until it fails. gen pins the
+// connection generation: if the link has been replaced or torn down since,
+// the loop's observations are stale and discarded.
+func (c *Conn) readLoop(peer int, gen uint64, conn net.Conn) {
 	defer c.wg.Done()
-	conn := c.peers[peer]
+	idle := c.idleTimeout()
 	for {
-		round, payloads, err := readFrame(conn)
-		c.mu.Lock()
+		conn.SetReadDeadline(time.Now().Add(idle))
+		round, payloads, err := wire.ReadFrame(conn, maxFrame)
 		if err != nil {
-			c.readErr[peer] = err
-			c.cond.Broadcast()
+			c.linkLost(peer, gen, err)
+			return
+		}
+		c.mu.Lock()
+		if c.closed || c.links[peer].gen != gen {
 			c.mu.Unlock()
 			return
 		}
@@ -318,86 +462,117 @@ func (c *Conn) readLoop(peer int) {
 	}
 }
 
-func (c *Conn) writeFrame(peer int, round uint64, payloads [][]byte) error {
-	size := 16
-	for _, p := range payloads {
-		size += len(p) + 4
+// idleTimeout is how long a connection may sit without a complete frame
+// before it is presumed dead. Every live peer sends every round, so normal
+// traffic arrives at least once per Δ; 8Δ of silence (floored at 2s so
+// millisecond-Δ tests don't flap) means the connection itself is gone.
+func (c *Conn) idleTimeout() time.Duration {
+	idle := 8 * c.cfg.Delta
+	if idle < 2*time.Second {
+		idle = 2 * time.Second
 	}
-	w := wire.NewWriter(size)
-	w.Uvarint(round)
-	w.Uvarint(uint64(len(payloads)))
-	for _, p := range payloads {
-		w.Bytes(p)
-	}
-	body := w.Finish()
-	hdr := wire.NewWriter(8)
-	hdr.Uvarint(uint64(len(body)))
-	conn := c.peers[peer]
-	if err := conn.SetWriteDeadline(time.Now().Add(c.cfg.Delta)); err != nil {
-		return err
-	}
-	if _, err := conn.Write(hdr.Finish()); err != nil {
-		return err
-	}
-	_, err := conn.Write(body)
-	return err
+	return idle
 }
 
-func readFrame(conn net.Conn) (uint64, [][]byte, error) {
-	size, err := readUvarint(conn)
-	if err != nil {
-		return 0, nil, err
+// linkLost transitions a link out of up after a read or write failure on
+// generation gen. Frame-protocol violations demote the peer to silent for
+// the run; I/O failures mark it down and, on the dialing side, kick off
+// reconnection.
+func (c *Conn) linkLost(peer int, gen uint64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l := &c.links[peer]
+	if c.closed || l.gen != gen || l.state == linkSilent {
+		return
 	}
-	if size > maxFrame {
-		return 0, nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", size)
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
 	}
-	body := make([]byte, size)
-	if err := readFull(conn, body); err != nil {
-		return 0, nil, err
-	}
-	r := wire.NewReader(body)
-	round := r.Uvarint()
-	count := r.Int()
-	if r.Err() != nil || count > 1<<20 {
-		return 0, nil, fmt.Errorf("tcpnet: malformed frame")
-	}
-	payloads := make([][]byte, 0, count)
-	for i := 0; i < count; i++ {
-		payloads = append(payloads, r.Bytes())
-	}
-	if err := r.Close(); err != nil {
-		return 0, nil, err
-	}
-	return round, payloads, nil
-}
-
-func readUvarint(conn net.Conn) (uint64, error) {
-	var v uint64
-	var shift uint
-	buf := make([]byte, 1)
-	for i := 0; i < 10; i++ {
-		if err := readFull(conn, buf); err != nil {
-			return 0, err
+	l.gen++
+	if errors.Is(err, wire.ErrFrame) {
+		l.state = linkSilent
+	} else {
+		l.state = linkDown
+		if peer < c.cfg.ID && c.cfg.ReconnectAttempts > 0 && !l.reconnecting {
+			l.reconnecting = true
+			go c.reconnectLoop(peer)
 		}
-		b := buf[0]
-		v |= uint64(b&0x7f) << shift
-		if b < 0x80 {
-			return v, nil
-		}
-		shift += 7
 	}
-	return 0, fmt.Errorf("tcpnet: overlong varint")
+	c.cond.Broadcast()
 }
 
-func readFull(conn net.Conn, buf []byte) error {
-	for off := 0; off < len(buf); {
-		m, err := conn.Read(buf[off:])
+// reconnectLoop re-dials a down peer with exponential backoff and jitter.
+// It runs on the dialing side only (the accepting side re-accepts
+// passively). Exhausting the attempts demotes the peer to silent.
+//
+// The loop is deliberately not in c.wg: Close must not block behind an
+// in-flight dial. Every state change is guarded by c.closed.
+func (c *Conn) reconnectLoop(peer int) {
+	backoff := c.cfg.ReconnectBase
+	for attempt := 0; attempt < c.cfg.ReconnectAttempts; attempt++ {
+		wait := backoff + time.Duration(rand.Int63n(int64(backoff)))
+		backoff *= 2
+		select {
+		case <-c.done:
+			return
+		case <-time.After(wait):
+		}
+		conn, err := net.DialTimeout("tcp", c.cfg.Addrs[peer], c.cfg.DialTimeout)
 		if err != nil {
-			return err
+			continue
 		}
-		off += m
+		if err := writeHandshake(conn, c.cfg.ID, time.Now().Add(c.cfg.DialTimeout)); err != nil {
+			conn.Close()
+			continue
+		}
+		c.mu.Lock()
+		l := &c.links[peer]
+		if c.closed || l.state != linkDown {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conn = conn
+		l.state = linkUp
+		l.gen++
+		l.reconnecting = false
+		c.wg.Add(1)
+		go c.readLoop(peer, l.gen, conn)
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		return
 	}
-	return nil
+	c.mu.Lock()
+	l := &c.links[peer]
+	l.reconnecting = false
+	if !c.closed && l.state == linkDown {
+		l.state = linkSilent
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// writeFrame ships one round frame to peer, tolerating any link state: a
+// peer that is down or silent is simply skipped, and a write failure drives
+// the link state machine instead of failing the round.
+func (c *Conn) writeFrame(peer int, round uint64, payloads [][]byte) {
+	c.mu.Lock()
+	l := &c.links[peer]
+	if c.closed || l.state != linkUp || l.conn == nil {
+		c.mu.Unlock()
+		return
+	}
+	conn, gen := l.conn, l.gen
+	c.mu.Unlock()
+	frame := wire.EncodeFrame(round, payloads)
+	if err := conn.SetWriteDeadline(time.Now().Add(c.cfg.Delta)); err != nil {
+		c.linkLost(peer, gen, err)
+		return
+	}
+	if _, err := conn.Write(frame); err != nil {
+		c.linkLost(peer, gen, err)
+	}
 }
 
 func writeHandshake(conn net.Conn, id int, deadline time.Time) error {
@@ -417,7 +592,7 @@ func readHandshake(conn net.Conn, deadline time.Time) (int, error) {
 	if err := conn.SetReadDeadline(deadline); err != nil {
 		return 0, err
 	}
-	v, err := readUvarint(conn)
+	v, err := wire.ReadUvarint(conn)
 	if err != nil {
 		return 0, err
 	}

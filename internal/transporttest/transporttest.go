@@ -8,6 +8,7 @@ package transporttest
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"convexagreement/internal/transport"
 )
@@ -27,6 +28,139 @@ func Conformance(t *testing.T, run Cluster) {
 	t.Run("self-delivery", func(t *testing.T) { testSelfDelivery(t, run) })
 	t.Run("out-of-range-drop", func(t *testing.T) { testOutOfRange(t, run) })
 	t.Run("unicast", func(t *testing.T) { testUnicast(t, run) })
+}
+
+// FaultCluster runs n party functions over a fresh connected transport
+// instance, like Cluster, and additionally hands each party a leave
+// control: calling leave() makes that party's transport stop participating
+// (close, leave, or crash — whatever the implementation's departure
+// mechanism is). Remaining parties' rounds must keep closing.
+type FaultCluster func(t *testing.T, n, tc int, fns []func(net transport.Net, leave func()) error)
+
+// ConformanceFaults runs the fault-tolerance battery: transports must
+// degrade gracefully — departed peers, silent rounds, and late frames never
+// wedge or mis-deliver the remaining parties' rounds.
+func ConformanceFaults(t *testing.T, run FaultCluster) {
+	t.Run("peer-leaves-mid-protocol", func(t *testing.T) { testPeerLeaves(t, run) })
+	t.Run("mixed-empty-rounds", func(t *testing.T) { testMixedEmptyRounds(t, run) })
+	t.Run("stale-round-frames", func(t *testing.T) { testStaleRoundFrames(t, run) })
+}
+
+// testPeerLeaves: one party departs after two rounds; the survivors' rounds
+// keep closing, and no message from the departed peer surfaces in a round
+// it never reached.
+func testPeerLeaves(t *testing.T, run FaultCluster) {
+	const n, rounds, leaveAfter = 4, 6, 2
+	fns := make([]func(net transport.Net, leave func()) error, n)
+	for i := 0; i < n; i++ {
+		id := i
+		fns[i] = func(net transport.Net, leave func()) error {
+			limit := rounds
+			if id == n-1 {
+				limit = leaveAfter
+			}
+			for r := 0; r < limit; r++ {
+				in, err := transport.ExchangeAll(net, "f", []byte{byte(id), byte(r)})
+				if err != nil {
+					return fmt.Errorf("party %d round %d: %w", id, r, err)
+				}
+				for _, m := range in {
+					if int(m.Payload[1]) != r {
+						return fmt.Errorf("party %d round %d: stamped %d", id, r, m.Payload[1])
+					}
+					if int(m.From) == n-1 && r >= leaveAfter {
+						return fmt.Errorf("party %d round %d: message from departed peer", id, r)
+					}
+				}
+				// Survivors must keep hearing each other after the departure.
+				if id < n-1 {
+					live := 0
+					for _, m := range in {
+						if int(m.From) < n-1 {
+							live++
+						}
+					}
+					if live != n-1 {
+						return fmt.Errorf("party %d round %d: %d live messages, want %d", id, r, live, n-1)
+					}
+				}
+			}
+			if id == n-1 {
+				leave()
+			}
+			return nil
+		}
+	}
+	run(t, n, 1, fns)
+}
+
+// testMixedEmptyRounds: parties that stay silent in a round must not stall
+// it, and their silence must be observable as absence, not as empty
+// messages.
+func testMixedEmptyRounds(t *testing.T, run FaultCluster) {
+	const n, rounds = 4, 5
+	fns := make([]func(net transport.Net, leave func()) error, n)
+	for i := 0; i < n; i++ {
+		id := i
+		fns[i] = func(net transport.Net, _ func()) error {
+			for r := 0; r < rounds; r++ {
+				speak := (id+r)%2 == 0 // alternating halves speak
+				var in []transport.Message
+				var err error
+				if speak {
+					in, err = transport.ExchangeAll(net, "m", []byte{byte(id)})
+				} else {
+					in, err = transport.ExchangeNone(net)
+				}
+				if err != nil {
+					return fmt.Errorf("party %d round %d: %w", id, r, err)
+				}
+				for _, m := range in {
+					if (int(m.From)+r)%2 != 0 {
+						return fmt.Errorf("party %d round %d: message from silent party %d", id, r, m.From)
+					}
+					if len(m.Payload) != 1 || int(m.Payload[0]) != int(m.From) {
+						return fmt.Errorf("party %d round %d: bad payload %v", id, r, m.Payload)
+					}
+				}
+			}
+			return nil
+		}
+	}
+	run(t, n, 1, fns)
+}
+
+// testStaleRoundFrames: a party that stalls past the synchrony bound must
+// never cause *cross-round* contamination — every delivered payload belongs
+// to the round it is delivered in. (On Δ-timeout transports the stalled
+// party's late frames are dropped as stale; on lock-step transports the
+// stall just delays the round.)
+func testStaleRoundFrames(t *testing.T, run FaultCluster) {
+	const n, rounds = 3, 8
+	fns := make([]func(net transport.Net, leave func()) error, n)
+	for i := 0; i < n; i++ {
+		id := i
+		fns[i] = func(net transport.Net, _ func()) error {
+			for r := 0; r < rounds; r++ {
+				if id == n-1 && r == 3 {
+					// Stall once, long enough to blow a small Δ.
+					time.Sleep(500 * time.Millisecond)
+				}
+				in, err := transport.ExchangeAll(net, "s", []byte{byte(id), byte(r)})
+				if err != nil {
+					return fmt.Errorf("party %d round %d: %w", id, r, err)
+				}
+				for _, m := range in {
+					if int(m.Payload[1]) != r {
+						return fmt.Errorf("party %d round %d: received round-%d payload from %d",
+							id, r, m.Payload[1], m.From)
+					}
+				}
+			}
+			return nil
+		}
+	}
+	run(t, n, 0, fns)
 }
 
 // testIdentity: ID/N/T must be consistent and stable.

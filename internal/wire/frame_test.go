@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		nil,
+		{[]byte{}},
+		{[]byte("a")},
+		{[]byte("hello"), []byte("world"), {0x00, 0xff}},
+	}
+	for _, payloads := range cases {
+		enc := EncodeFrame(42, payloads)
+		round, got, err := ReadFrame(bytes.NewReader(enc), 1<<20)
+		if err != nil {
+			t.Fatalf("payloads %v: %v", payloads, err)
+		}
+		if round != 42 {
+			t.Fatalf("round %d", round)
+		}
+		if len(got) != len(payloads) {
+			t.Fatalf("got %d payloads, want %d", len(got), len(payloads))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], payloads[i]) {
+				t.Fatalf("payload %d: %v != %v", i, got[i], payloads[i])
+			}
+		}
+	}
+}
+
+func TestFrameStreamCarriesMultiple(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(EncodeFrame(1, [][]byte{[]byte("one")}))
+	buf.Write(EncodeFrame(2, [][]byte{[]byte("two")}))
+	r := bytes.NewReader(buf.Bytes())
+	for want := uint64(1); want <= 2; want++ {
+		round, _, err := ReadFrame(r, 1<<20)
+		if err != nil || round != want {
+			t.Fatalf("frame %d: round=%d err=%v", want, round, err)
+		}
+	}
+	if _, _, err := ReadFrame(r, 1<<20); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestFrameOversizeIsProtocolViolation(t *testing.T) {
+	w := NewWriter(8)
+	w.Uvarint(1 << 30) // announced body far beyond the limit
+	if _, _, err := ReadFrame(bytes.NewReader(w.Finish()), 1<<20); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversize: %v", err)
+	}
+}
+
+func TestFrameGarbledHeaderIsProtocolViolation(t *testing.T) {
+	// Overlong varint length prefix.
+	if _, _, err := ReadFrame(bytes.NewReader(bytes.Repeat([]byte{0xff}, 12)), 1<<20); !errors.Is(err, ErrFrame) {
+		t.Fatalf("overlong varint: %v", err)
+	}
+	// Valid size, absurd payload count.
+	body := NewWriter(16)
+	body.Uvarint(3)                    // round
+	body.Uvarint(MaxFramePayloads + 1) // count
+	enc := NewWriter(24)
+	enc.Uvarint(uint64(len(body.Finish())))
+	enc.Raw(body.Finish())
+	if _, _, err := ReadFrame(bytes.NewReader(enc.Finish()), 1<<20); !errors.Is(err, ErrFrame) {
+		t.Fatalf("absurd count: %v", err)
+	}
+	// Trailing garbage inside the body.
+	tail := NewWriter(16)
+	tail.Uvarint(3)
+	tail.Uvarint(0)
+	tail.Byte(0xaa)
+	enc2 := NewWriter(24)
+	enc2.Uvarint(uint64(len(tail.Finish())))
+	enc2.Raw(tail.Finish())
+	if _, _, err := ReadFrame(bytes.NewReader(enc2.Finish()), 1<<20); !errors.Is(err, ErrFrame) {
+		t.Fatalf("trailing garbage: %v", err)
+	}
+}
+
+func TestFrameTruncationIsIOError(t *testing.T) {
+	enc := EncodeFrame(7, [][]byte{[]byte("payload")})
+	for _, cut := range []int{1, len(enc) / 2, len(enc) - 1} {
+		_, _, err := ReadFrame(bytes.NewReader(enc[:cut]), 1<<20)
+		if err == nil || errors.Is(err, ErrFrame) {
+			t.Fatalf("cut %d: want I/O error, got %v", cut, err)
+		}
+	}
+}

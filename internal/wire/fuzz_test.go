@@ -33,6 +33,39 @@ func FuzzReader(f *testing.F) {
 	})
 }
 
+// FuzzReadFrame throws arbitrary bytes at the stream-frame decoder: it must
+// never panic, never allocate beyond the frame bound, and decode cleanly
+// only into frames that re-encode to an equivalent parse. Seeds are golden
+// frames produced by EncodeFrame.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(EncodeFrame(0, nil))
+	f.Add(EncodeFrame(3, [][]byte{[]byte("x")}))
+	f.Add(EncodeFrame(1<<40, [][]byte{[]byte("alpha"), {}, []byte("beta")}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 16))
+
+	const limit = 1 << 16
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		round, payloads, err := ReadFrame(bytes.NewReader(raw), limit)
+		if err != nil {
+			return
+		}
+		// Successful parses must survive a canonical re-encode round trip.
+		r2, p2, err := ReadFrame(bytes.NewReader(EncodeFrame(round, payloads)), limit+64)
+		if err != nil {
+			t.Fatalf("re-encoded frame unreadable: %v", err)
+		}
+		if r2 != round || len(p2) != len(payloads) {
+			t.Fatalf("round trip changed shape: round %d→%d, %d→%d payloads", round, r2, len(payloads), len(p2))
+		}
+		for i := range p2 {
+			if !bytes.Equal(p2[i], payloads[i]) {
+				t.Fatalf("payload %d changed across round trip", i)
+			}
+		}
+	})
+}
+
 // FuzzRoundTrip checks encode∘decode identity on fuzzer-chosen field
 // values.
 func FuzzRoundTrip(f *testing.F) {

@@ -15,7 +15,11 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (sim, rs)"
-go test -race ./internal/sim/... ./internal/rs/...
+echo "== go test -race (sim, rs, tcpnet, channet, faultnet)"
+go test -race ./internal/sim/... ./internal/rs/... ./internal/tcpnet/... ./internal/channet/... ./internal/faultnet/...
+
+echo "== go test -fuzz smoke (wire frames, baplus tuples)"
+go test -run '^$' -fuzz FuzzReadFrame -fuzztime 5s ./internal/wire/
+go test -run '^$' -fuzz FuzzDecode -fuzztime 5s ./internal/baplus/
 
 echo "CI OK"

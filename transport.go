@@ -108,6 +108,13 @@ type TCPConfig struct {
 	Delta time.Duration
 	// DialTimeout bounds mesh establishment (default 10s).
 	DialTimeout time.Duration
+	// ReconnectAttempts bounds re-dials of a broken link before the peer
+	// is demoted to silent for the run. 0 means the default (5); negative
+	// disables reconnection.
+	ReconnectAttempts int
+	// ReconnectBase is the first reconnect backoff, doubling per attempt
+	// with jitter (default 50ms).
+	ReconnectBase time.Duration
 	// Listener optionally supplies a pre-bound listener for Addrs[ID].
 	Listener net.Listener
 }
@@ -128,12 +135,14 @@ func DialTCP(cfg TCPConfig) (*TCPTransport, error) {
 		cfg.T = (len(cfg.Addrs) - 1) / 3
 	}
 	conn, err := tcpnet.Dial(tcpnet.Config{
-		ID:          cfg.ID,
-		Addrs:       cfg.Addrs,
-		T:           cfg.T,
-		Delta:       cfg.Delta,
-		DialTimeout: cfg.DialTimeout,
-		Listener:    cfg.Listener,
+		ID:                cfg.ID,
+		Addrs:             cfg.Addrs,
+		T:                 cfg.T,
+		Delta:             cfg.Delta,
+		DialTimeout:       cfg.DialTimeout,
+		ReconnectAttempts: cfg.ReconnectAttempts,
+		ReconnectBase:     cfg.ReconnectBase,
+		Listener:          cfg.Listener,
 	})
 	if err != nil {
 		return nil, err
@@ -166,6 +175,11 @@ func (t *TCPTransport) Exchange(out []Packet) ([]Message, error) {
 	}
 	return msgs, nil
 }
+
+// Faulty returns the peers this party demoted to silent for the run —
+// caught violating the framing protocol or unreachable after all reconnect
+// attempts — ordered by party id.
+func (t *TCPTransport) Faulty() []int { return t.conn.Faulty() }
 
 // Close tears down the mesh.
 func (t *TCPTransport) Close() error { return t.conn.Close() }

@@ -1,0 +1,161 @@
+package convexagreement
+
+import (
+	"convexagreement/internal/faultnet"
+	"convexagreement/internal/transport"
+)
+
+// This file is the public face of the deterministic fault-injection layer
+// (internal/faultnet): WrapFaulty interposes a seed-keyed fault schedule
+// between a protocol and any Transport, so deployments can rehearse drops,
+// delays beyond Δ, duplication, corruption, partitions, and crash/restart
+// windows — and replay any run exactly from its seed.
+
+// AnyParty matches every party in a FaultRule's From/To position.
+const AnyParty = -1
+
+// FaultKind selects what a FaultRule does to a matching message.
+type FaultKind uint8
+
+// The fault kinds.
+const (
+	// FaultDrop omits the message entirely (omission past Δ).
+	FaultDrop FaultKind = iota
+	// FaultDelay slides the message DelayRounds rounds later; the
+	// recipient sees it as part of a later round's traffic.
+	FaultDelay
+	// FaultDuplicate delivers the message twice in the same round.
+	FaultDuplicate
+	// FaultCorrupt flips payload bytes (on a copy; the sender's buffer is
+	// untouched).
+	FaultCorrupt
+)
+
+// FaultRule injects one fault kind on matching (From → To) links during the
+// round window [FromRound, ToRound); ToRound ≤ 0 means unbounded. Each
+// matching message is hit independently with probability Prob, decided by a
+// deterministic hash of (seed, round, link, rule, message index) — never by
+// a global RNG — so identical configurations replay identical faults.
+type FaultRule struct {
+	Kind        FaultKind
+	From, To    int // party index or AnyParty
+	FromRound   int
+	ToRound     int
+	Prob        float64
+	DelayRounds int // FaultDelay only; 0 means 1
+}
+
+// FaultPartition cuts every link crossing the GroupA / rest boundary, both
+// directions, during [FromRound, ToRound) — a clean split that heals when
+// the window ends.
+type FaultPartition struct {
+	FromRound int
+	ToRound   int
+	GroupA    []int
+}
+
+// FaultCrash silences one party for rounds [FromRound, ToRound): it sends
+// nothing and receives nothing, then resumes — a crash with restart.
+type FaultCrash struct {
+	Party     int
+	FromRound int
+	ToRound   int
+}
+
+// FaultConfig is a per-round, per-link fault schedule. The zero value
+// injects nothing (the wrapper is then an exact passthrough). Every party
+// of a cluster must be wrapped with an identical FaultConfig: decisions are
+// pure functions of the configuration and the round, so equal configs —
+// even in different processes — make identical choices, no shared state
+// needed.
+type FaultConfig struct {
+	// Seed keys every probabilistic decision.
+	Seed       int64
+	Rules      []FaultRule
+	Partitions []FaultPartition
+	Crashes    []FaultCrash
+	// MaxRounds, when positive, fails Exchange after that many rounds
+	// instead of letting a fault-starved protocol hang.
+	MaxRounds int
+}
+
+func (c FaultConfig) plan() *faultnet.Plan {
+	plan := &faultnet.Plan{Seed: c.Seed, MaxRounds: c.MaxRounds}
+	for _, r := range c.Rules {
+		plan.Rules = append(plan.Rules, faultnet.Rule{
+			Kind:        faultnet.Kind(r.Kind),
+			From:        r.From,
+			To:          r.To,
+			FromRound:   r.FromRound,
+			ToRound:     r.ToRound,
+			Prob:        r.Prob,
+			DelayRounds: r.DelayRounds,
+		})
+	}
+	for _, p := range c.Partitions {
+		plan.Partitions = append(plan.Partitions, faultnet.Partition{
+			FromRound: p.FromRound,
+			ToRound:   p.ToRound,
+			GroupA:    append([]int(nil), p.GroupA...),
+		})
+	}
+	for _, cr := range c.Crashes {
+		plan.Crashes = append(plan.Crashes, faultnet.Crash{
+			Party:     cr.Party,
+			FromRound: cr.FromRound,
+			ToRound:   cr.ToRound,
+		})
+	}
+	return plan
+}
+
+// FaultyTransport is a Transport with a fault schedule interposed on its
+// outgoing (and, for crash windows, incoming) traffic.
+type FaultyTransport struct {
+	inner Transport
+	net   *faultnet.Net
+}
+
+var _ Transport = (*FaultyTransport)(nil)
+
+// WrapFaulty interposes the fault schedule on tr. The wrapped transport is
+// used in place of tr by this party; faults are applied on the sender side,
+// so each link fault happens exactly once even though every party carries
+// its own wrapper.
+func WrapFaulty(tr Transport, cfg FaultConfig) *FaultyTransport {
+	return &FaultyTransport{inner: tr, net: faultnet.Wrap(netAdapter{tr}, cfg.plan())}
+}
+
+// ID implements Transport.
+func (f *FaultyTransport) ID() int { return int(f.net.ID()) }
+
+// N implements Transport.
+func (f *FaultyTransport) N() int { return f.net.N() }
+
+// T implements Transport.
+func (f *FaultyTransport) T() int { return f.net.T() }
+
+// Exchange implements Transport, applying the schedule's faults for the
+// current round on the way through.
+func (f *FaultyTransport) Exchange(out []Packet) ([]Message, error) {
+	internal := make([]transport.Packet, len(out))
+	for i, p := range out {
+		internal[i] = transport.Packet{To: transport.PartyID(p.To), Tag: p.Tag, Payload: p.Payload}
+	}
+	in, err := f.net.Exchange(internal)
+	if err != nil {
+		return nil, err
+	}
+	msgs := make([]Message, len(in))
+	for i, m := range in {
+		msgs[i] = Message{From: int(m.From), Payload: m.Payload}
+	}
+	return msgs, nil
+}
+
+// Round returns how many rounds this wrapper has completed.
+func (f *FaultyTransport) Round() int { return f.net.Round() }
+
+// Transcript returns a digest of everything delivered through this wrapper,
+// for asserting that two seeded runs replayed identically.
+func (f *FaultyTransport) Transcript() uint64 { return f.net.Transcript() }

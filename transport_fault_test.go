@@ -1,0 +1,171 @@
+package convexagreement_test
+
+import (
+	"bytes"
+	"math/big"
+	"sync"
+	"testing"
+
+	ca "convexagreement"
+)
+
+// wrapCluster wraps every transport of a fresh local cluster with the same
+// fault configuration, the deployment pattern WrapFaulty is built for. It
+// also returns the underlying locals: the cluster is lock-step, so a party
+// that finishes early must Close its local transport for the others' rounds
+// to keep closing.
+func wrapCluster(t *testing.T, n int, cfg ca.FaultConfig) ([]*ca.FaultyTransport, []*ca.LocalTransport) {
+	t.Helper()
+	locals, err := ca.NewLocalCluster(n, (n-1)/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*ca.FaultyTransport, n)
+	for i, l := range locals {
+		l := l
+		out[i] = ca.WrapFaulty(l, cfg)
+		t.Cleanup(func() { l.Close() })
+	}
+	return out, locals
+}
+
+// TestWrapFaultyZeroConfigIsPassthrough: the zero FaultConfig must be
+// invisible — every broadcast arrives intact.
+func TestWrapFaultyZeroConfigIsPassthrough(t *testing.T) {
+	const n = 4
+	trs, _ := wrapCluster(t, n, ca.FaultConfig{})
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, tr := range trs {
+		wg.Add(1)
+		go func(i int, tr *ca.FaultyTransport) {
+			defer wg.Done()
+			for r := 0; r < 3; r++ {
+				out := make([]ca.Packet, n)
+				for to := range out {
+					out[to] = ca.Packet{To: to, Tag: "p", Payload: []byte{byte(i), byte(r)}}
+				}
+				in, err := tr.Exchange(out)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if len(in) != n {
+					t.Errorf("party %d round %d: %d messages, want %d", i, r, len(in), n)
+					return
+				}
+				for j, m := range in {
+					if m.From != j || !bytes.Equal(m.Payload, []byte{byte(j), byte(r)}) {
+						t.Errorf("party %d round %d: message %d = %+v", i, r, j, m)
+						return
+					}
+				}
+			}
+		}(i, tr)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("party %d: %v", i, err)
+		}
+	}
+}
+
+// TestWrapFaultyDropSilencesLink: a certain drop rule on one link removes
+// exactly that link's traffic and nothing else.
+func TestWrapFaultyDropSilencesLink(t *testing.T) {
+	const n = 3
+	cfg := ca.FaultConfig{
+		Seed:  7,
+		Rules: []ca.FaultRule{{Kind: ca.FaultDrop, From: 0, To: 1, Prob: 1}},
+	}
+	trs, _ := wrapCluster(t, n, cfg)
+	var wg sync.WaitGroup
+	got := make([][]ca.Message, n)
+	for i, tr := range trs {
+		wg.Add(1)
+		go func(i int, tr *ca.FaultyTransport) {
+			defer wg.Done()
+			out := make([]ca.Packet, n)
+			for to := range out {
+				out[to] = ca.Packet{To: to, Tag: "d", Payload: []byte{byte(i)}}
+			}
+			got[i], _ = tr.Exchange(out)
+		}(i, tr)
+	}
+	wg.Wait()
+	for _, m := range got[1] {
+		if m.From == 0 {
+			t.Fatalf("dropped link 0→1 delivered %+v", m)
+		}
+	}
+	if len(got[1]) != n-1 {
+		t.Fatalf("party 1 got %d messages, want %d", len(got[1]), n-1)
+	}
+	if len(got[2]) != n {
+		t.Fatalf("party 2 got %d messages, want %d (only 0→1 is cut)", len(got[2]), n)
+	}
+}
+
+// TestRunPartyUnderFaults: the full public stack — RunParty over WrapFaulty
+// over a local cluster — reaches agreement and convex validity under random
+// drops and delays, and two identically-seeded runs replay the same
+// transcript.
+func TestRunPartyUnderFaults(t *testing.T) {
+	const n = 4
+	cfg := ca.FaultConfig{
+		Seed: 11,
+		Rules: []ca.FaultRule{
+			{Kind: ca.FaultDrop, From: ca.AnyParty, To: 3, Prob: 0.25},
+			{Kind: ca.FaultDelay, From: 3, To: ca.AnyParty, Prob: 0.25, DelayRounds: 2},
+		},
+		MaxRounds: 5000,
+	}
+	inputs := []int64{10, 14, 12, 16}
+
+	run := func() ([]*big.Int, []uint64) {
+		trs, locals := wrapCluster(t, n, cfg)
+		outs := make([]*big.Int, n)
+		digests := make([]uint64, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i, tr := range trs {
+			wg.Add(1)
+			go func(i int, tr *ca.FaultyTransport) {
+				defer wg.Done()
+				// A party that finishes (or fails) must leave the lock-step
+				// cluster so the others' rounds keep closing.
+				defer locals[i].Close()
+				outs[i], errs[i] = ca.RunParty(tr, ca.ProtoOptimal, 0, big.NewInt(inputs[i]))
+				digests[i] = tr.Transcript()
+			}(i, tr)
+		}
+		wg.Wait()
+		// All faults land on party 3's links, so it counts against the
+		// t = 1 budget: it may fail or diverge, but the clean parties may
+		// not.
+		for i := 0; i < 3; i++ {
+			if errs[i] != nil {
+				t.Fatalf("clean party %d: %v", i, errs[i])
+			}
+		}
+		return outs, digests
+	}
+
+	outs, digests := run()
+	for i := 1; i < 3; i++ {
+		if outs[i].Cmp(outs[0]) != 0 {
+			t.Fatalf("disagreement under faults: %v vs %v", outs[i], outs[0])
+		}
+	}
+	// Convex validity over the clean parties' inputs {10, 14, 12}.
+	if outs[0].Cmp(big.NewInt(10)) < 0 || outs[0].Cmp(big.NewInt(16)) > 0 {
+		t.Fatalf("output %v outside input hull", outs[0])
+	}
+	_, digests2 := run()
+	for i := 0; i < 3; i++ {
+		if digests[i] != digests2[i] {
+			t.Fatalf("party %d transcript differs across identically-seeded runs", i)
+		}
+	}
+}
