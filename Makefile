@@ -31,8 +31,9 @@ bench:
 # record, keeping the previous PR's numbers as the "before" section. A
 # per-benchmark speedup summary is printed to stderr.
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) \
-		| $(GO) run ./cmd/benchjson -before BENCH_PR1.json > BENCH_PR2.json
+	( $(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) ; \
+	  $(GO) test -run '^$$' -bench BenchmarkE18_CrashRecovery -benchtime 3x -benchmem . ) \
+		| $(GO) run ./cmd/benchjson -before BENCH_PR2.json > BENCH_PR3.json
 
 # Short fuzzing smoke over the panic-free decode surfaces: the stream frame
 # codec and the Π_ℓBA+ tuple decoder. Raise FUZZTIME for a real campaign.

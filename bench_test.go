@@ -13,10 +13,12 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	ca "convexagreement"
 
 	"convexagreement/internal/experiments"
+	"convexagreement/internal/supervisor"
 )
 
 var tablesOnce sync.Map
@@ -335,7 +337,10 @@ func BenchmarkE17_FaultSweep(b *testing.B) {
 		errs := make([]error, n)
 		var wg sync.WaitGroup
 		for p, l := range locals {
-			tr := ca.WrapFaulty(l, cfg)
+			tr, err := ca.WrapFaulty(l, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
 			wg.Add(1)
 			go func(p int, l *ca.LocalTransport, tr *ca.FaultyTransport) {
 				defer wg.Done()
@@ -353,6 +358,85 @@ func BenchmarkE17_FaultSweep(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkE18_CrashRecovery regenerates E18 (checkpointed crash recovery)
+// and times one supervised channet session that is killed once mid-instance
+// and resumed from its write-ahead log, reporting the restart count.
+func BenchmarkE18_CrashRecovery(b *testing.B) {
+	printTable(b, "E18", func() experiments.Table { return experiments.E18CrashRecovery(true) })
+	const (
+		n         = 4
+		K         = n - 1
+		instances = 2
+	)
+	cfg := ca.FaultConfig{Kills: []ca.FaultKill{{Party: K, Round: 100}}}
+	input := func(party, seq int) *big.Int { return big.NewInt(int64(100*seq + 3*party + 1)) }
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		locals, err := ca.NewLocalCluster(n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for p := 0; p < n-1; p++ {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer locals[p].Close()
+				s := ca.NewSession(locals[p])
+				for seq := 0; seq < instances; seq++ {
+					if _, errs[p] = s.Agree(ca.ProtoOptimal, 0, input(p, seq)); errs[p] != nil {
+						return
+					}
+				}
+			}()
+		}
+		var runErr error
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer locals[K].Close()
+			tr, err := ca.WrapFaulty(locals[K], cfg)
+			if err != nil {
+				runErr = err
+				return
+			}
+			_, runErr = supervisor.Run(supervisor.Config{
+				Delta:       100 * time.Millisecond,
+				StallRounds: 100,
+				MaxRestarts: 2,
+				BackoffBase: time.Millisecond,
+				N:           n,
+				T:           1,
+			}, func(a *supervisor.Attempt) error {
+				s := ca.NewSession(tr)
+				if err := s.Resume(dir); err != nil {
+					return err
+				}
+				defer s.Close()
+				a.Progress(s.Rounds)
+				for seq := s.Seq(); seq < instances; seq++ {
+					if _, err := s.Agree(ca.ProtoOptimal, 0, input(K, int(seq))); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}()
+		wg.Wait()
+		if runErr != nil {
+			b.Fatal(runErr)
+		}
+		for p := 0; p < n-1; p++ {
+			if errs[p] != nil {
+				b.Fatal(errs[p])
+			}
+		}
+	}
+	b.ReportMetric(1, "restarts/op")
 }
 
 // BenchmarkE10_AdversaryAblation regenerates E10 (communication stability

@@ -11,9 +11,18 @@
 //
 // Every process prints the same agreed value, guaranteed to lie within the
 // range of the inputs of the correctly running parties.
+//
+// With -supervised -statedir DIR the party checkpoints every round to a
+// write-ahead log in DIR and runs under a stall-detecting supervisor: if the
+// process is restarted (or the supervisor restarts a stalled attempt), it
+// resumes from the log, redials the mesh announcing its resume round, and
+// peers replay the missed rounds from their buffered outbox tails. -instances
+// runs a session of several agreement instances (inputs offset by instance
+// number) instead of a single one.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/big"
@@ -22,6 +31,7 @@ import (
 	"time"
 
 	ca "convexagreement"
+	"convexagreement/internal/supervisor"
 )
 
 func main() {
@@ -30,14 +40,19 @@ func main() {
 
 func run() int {
 	var (
-		id        = flag.Int("id", -1, "this party's index into -addrs")
-		addrsFlag = flag.String("addrs", "", "comma-separated listen addresses of ALL parties, in party order")
-		t         = flag.Int("t", 0, "corruption budget (default ⌊(n−1)/3⌋)")
-		protoName = flag.String("protocol", string(ca.ProtoOptimal), "protocol: optimal | optimal-nat | fixed-length | fixed-length-blocks | highcost | broadcast")
-		width     = flag.Int("width", 0, "public input bit width (fixed-length protocols)")
-		inputStr  = flag.String("input", "", "this party's integer input (decimal)")
-		delta     = flag.Duration("delta", 2*time.Second, "synchrony bound Δ per round")
-		dialTO    = flag.Duration("dial-timeout", 15*time.Second, "time to wait for the full mesh")
+		id         = flag.Int("id", -1, "this party's index into -addrs")
+		addrsFlag  = flag.String("addrs", "", "comma-separated listen addresses of ALL parties, in party order")
+		t          = flag.Int("t", 0, "corruption budget (default ⌊(n−1)/3⌋)")
+		protoName  = flag.String("protocol", string(ca.ProtoOptimal), "protocol: optimal | optimal-nat | fixed-length | fixed-length-blocks | highcost | broadcast")
+		width      = flag.Int("width", 0, "public input bit width (fixed-length protocols)")
+		inputStr   = flag.String("input", "", "this party's integer input (decimal)")
+		delta      = flag.Duration("delta", 2*time.Second, "synchrony bound Δ per round")
+		dialTO     = flag.Duration("dial-timeout", 15*time.Second, "time to wait for the full mesh")
+		supervised = flag.Bool("supervised", false, "checkpoint every round and restart from the log on stall or error (requires -statedir)")
+		stateDir   = flag.String("statedir", "", "directory for the write-ahead log (supervised mode)")
+		instances  = flag.Int("instances", 1, "number of sequential agreement instances in the session")
+		restarts   = flag.Int("max-restarts", 3, "supervised mode: restart budget before giving up")
+		stallR     = flag.Int("stall-rounds", 8, "supervised mode: rounds of no progress before an attempt is declared stalled")
 	)
 	flag.Parse()
 
@@ -54,6 +69,19 @@ func run() int {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "catcp: invalid -input %q\n", *inputStr)
 		return 2
+	}
+	if *instances < 1 {
+		fmt.Fprintln(os.Stderr, "catcp: -instances must be ≥ 1")
+		return 2
+	}
+	if *supervised && *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "catcp: -supervised requires -statedir")
+		return 2
+	}
+
+	if *supervised {
+		return runSupervised(*id, addrs, *t, *protoName, *width, input,
+			*delta, *dialTO, *stateDir, *instances, *restarts, *stallR)
 	}
 
 	fmt.Fprintf(os.Stderr, "catcp: party %d/%d listening on %s, dialing mesh...\n", *id, len(addrs), addrs[*id])
@@ -72,12 +100,94 @@ func run() int {
 	defer tr.Close()
 	fmt.Fprintf(os.Stderr, "catcp: mesh up in %v, running %s...\n", time.Since(start).Round(time.Millisecond), *protoName)
 
-	out, err := ca.RunParty(tr, ca.Protocol(*protoName), *width, input)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "catcp: protocol:", err)
-		return 1
+	s := ca.NewSession(tr)
+	var out *big.Int
+	for seq := 0; seq < *instances; seq++ {
+		out, err = s.Agree(ca.Protocol(*protoName), *width, instanceInput(input, seq))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "catcp: protocol:", err)
+			return 1
+		}
+		fmt.Println(out) // the agreed value on stdout, scripting-friendly
 	}
 	fmt.Fprintf(os.Stderr, "catcp: done in %v\n", time.Since(start).Round(time.Millisecond))
-	fmt.Println(out) // the agreed value on stdout, scripting-friendly
+	return 0
+}
+
+// instanceInput offsets the base input per instance so a multi-instance
+// session exercises distinct hulls while staying scriptable from one flag.
+func instanceInput(base *big.Int, seq int) *big.Int {
+	return new(big.Int).Add(base, big.NewInt(int64(1000*seq)))
+}
+
+// runSupervised runs the checkpointed, supervised session: every attempt
+// inspects the write-ahead log, redials the mesh announcing the resume
+// round, and replays the log before touching the live network.
+func runSupervised(id int, addrs []string, t int, protoName string, width int,
+	input *big.Int, delta, dialTO time.Duration,
+	stateDir string, instances, restarts, stallRounds int) int {
+	start := time.Now()
+	outs := make([]*big.Int, instances)
+	health, err := supervisor.Run(supervisor.Config{
+		Delta:       delta,
+		StallRounds: stallRounds,
+		MaxRestarts: restarts,
+		N:           len(addrs),
+		T:           t,
+	}, func(a *supervisor.Attempt) error {
+		st, err := ca.InspectState(stateDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "catcp: attempt %d: resuming at instance %d round %d, dialing mesh...\n",
+			a.Number, st.Seq, st.NextRound)
+		tr, err := ca.DialTCP(ca.TCPConfig{
+			ID:          id,
+			Addrs:       addrs,
+			T:           t,
+			Delta:       delta,
+			DialTimeout: dialTO,
+			ResumeRound: st.NextRound,
+		})
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		a.AbortOnStall(func() { tr.Close() })
+		s := ca.NewSession(tr)
+		if err := s.Resume(stateDir); err != nil {
+			return err
+		}
+		defer s.Close()
+		a.Progress(s.Rounds)
+		if gap := tr.FrontierGap(); gap > 0 {
+			fmt.Fprintf(os.Stderr, "catcp: rejoined a mesh %d rounds ahead\n", gap)
+		}
+		for seq := s.Seq(); seq < uint64(instances); seq++ {
+			a.ReportPeers(len(addrs) - len(tr.Faulty()))
+			out, err := s.Agree(ca.Protocol(protoName), width, instanceInput(input, int(seq)))
+			if err != nil {
+				return err
+			}
+			outs[seq] = out
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "catcp: supervised session failed: %v\n", err)
+		fmt.Fprintf(os.Stderr, "catcp: health: %s\n", health)
+		switch {
+		case errors.Is(err, supervisor.ErrQuorumLost):
+			return 3
+		case errors.Is(err, supervisor.ErrStalled), errors.Is(err, supervisor.ErrRestartsExhausted):
+			return 4
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "catcp: done in %v (%d attempts)\n",
+		time.Since(start).Round(time.Millisecond), health.Attempts)
+	for _, out := range outs {
+		fmt.Println(out)
+	}
 	return 0
 }

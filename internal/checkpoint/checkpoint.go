@@ -1,0 +1,389 @@
+// Package checkpoint is the durable write-ahead log behind resumable
+// sessions: every round a checkpointed party completes is appended to an
+// fsync'd, CRC-framed log, so a party killed mid-instance can replay its
+// exact view — same inputs, same per-round inboxes — and deterministically
+// re-derive the protocol state it died in.
+//
+// The paper's model (§2) has no recovery story: a crashed party is
+// corrupt-and-silent forever and charged against t. For a long-lived
+// deployment (the ROADMAP's price oracle / clock network) that accounting
+// is too pessimistic — a party that restarts with its state intact is
+// *honest*, not byzantine. The WAL supplies exactly the state that makes
+// the restart deterministic: because every protocol in this repository is a
+// deterministic function of (input, received inboxes), replaying the
+// recorded inboxes reproduces the party's outbound traffic and internal
+// state bit-for-bit without serializing any protocol internals.
+//
+// Record framing (append-only, single file "wal" in the directory):
+//
+//	uvarint  body length
+//	body     (wire-encoded record, first byte is the record kind)
+//	4 bytes  CRC-32C of body, little-endian
+//
+// Replay is torn-write tolerant: a truncated or CRC-damaged tail (the
+// record being appended when the process died) is discarded and the file is
+// truncated back to the last intact record. Corruption *before* the tail is
+// a hard error — that is a damaged disk, not a torn write.
+//
+// Record kinds:
+//
+//	meta      session geometry (n, t) — first record, written once
+//	instance  start of instance: seq, kind, protocol, width, input [, D, ε]
+//	round     one completed round's inbox: {from, payload}*
+//	end       instance completed: the output
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/big"
+	"os"
+	"path/filepath"
+
+	"convexagreement/internal/transport"
+	"convexagreement/internal/wire"
+)
+
+// Errors returned by the checkpoint layer.
+var (
+	// ErrCorrupt reports WAL damage that is not a torn tail — a record in
+	// the middle of the file failed its CRC or decoded inconsistently.
+	ErrCorrupt = errors.New("checkpoint: corrupt write-ahead log")
+	// ErrClosed reports an append to a closed log.
+	ErrClosed = errors.New("checkpoint: log closed")
+)
+
+// Record kinds (first body byte).
+const (
+	recMeta     byte = 1
+	recInstance byte = 2
+	recRound    byte = 3
+	recEnd      byte = 4
+)
+
+// Instance kinds.
+const (
+	// KindAgree is a Session.Agree instance (protocol, width, input).
+	KindAgree byte = 1
+	// KindApprox is a Session.ApproxAgree instance (input, D, ε).
+	KindApprox byte = 2
+)
+
+// castagnoli is the CRC-32C table used for record framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecord bounds one WAL record body (a round inbox for one party); it
+// matches the transports' 64 MiB frame ceiling.
+const maxRecord = 64 << 20
+
+// Instance is one recorded agreement instance.
+type Instance struct {
+	Seq      uint64
+	Kind     byte   // KindAgree or KindApprox
+	Protocol string // KindAgree only
+	Width    int    // KindAgree only
+	Input    *big.Int
+	Diam     *big.Int // KindApprox only
+	Eps      *big.Int // KindApprox only
+	// Rounds holds the recorded per-round inboxes, in order. For completed
+	// instances replayed from disk this is discarded (only the partial tail
+	// instance needs its rounds for replay).
+	Rounds [][]transport.Message
+	Done   bool
+	Output *big.Int
+}
+
+// State is what Open recovered from an existing WAL.
+type State struct {
+	// HasMeta reports whether a meta record was found; N and T are only
+	// meaningful when it is set.
+	HasMeta bool
+	N, T    int
+	// Seq is the number of completed instances.
+	Seq uint64
+	// NextRound is the total number of rounds recorded across all
+	// instances — the absolute transport round at which a resumed party
+	// goes live (feed it to the transport's resume/rejoin configuration).
+	NextRound uint64
+	// Partial is the instance the WAL ends inside, nil if the log ends at
+	// an instance boundary. Its Rounds are the inboxes to replay.
+	Partial *Instance
+}
+
+// Log is an open write-ahead log. Appends are fsync'd before returning, so
+// a record that was reported durable survives process death. Not safe for
+// concurrent use; a session drives it from one goroutine.
+type Log struct {
+	f      *os.File
+	closed bool
+}
+
+// Open opens (creating if necessary) the WAL in dir, replays it tolerating
+// a torn tail, truncates any torn bytes, and returns the recovered state
+// with the log positioned for appending.
+func Open(dir string) (*Log, *State, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	path := filepath.Join(dir, "wal")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	st, goodOff, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Discard the torn tail, if any, and position for append.
+	if err := f.Truncate(goodOff); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("checkpoint: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(goodOff, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Log{f: f}, st, nil
+}
+
+// Inspect replays the WAL in dir without keeping it open. A missing or
+// empty WAL yields a zero State, not an error.
+func Inspect(dir string) (*State, error) {
+	log, st, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	log.Close()
+	return st, nil
+}
+
+// replay scans records from the start of f, returning the recovered state
+// and the offset just past the last intact record.
+func replay(f *os.File) (*State, int64, error) {
+	st := &State{}
+	var off int64
+	r := &offsetReader{f: f}
+	for {
+		body, err := readRecord(r)
+		if err == errTornTail {
+			return st, off, nil
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := st.apply(body); err != nil {
+			return nil, 0, err
+		}
+		off = r.off
+	}
+}
+
+// errTornTail is the internal sentinel for "the file ends mid-record".
+var errTornTail = errors.New("torn tail")
+
+// offsetReader tracks how many bytes have been consumed from f.
+type offsetReader struct {
+	f   *os.File
+	off int64
+}
+
+func (r *offsetReader) Read(p []byte) (int, error) {
+	n, err := r.f.Read(p)
+	r.off += int64(n)
+	return n, err
+}
+
+// readRecord reads one framed record. A clean EOF at a record boundary, a
+// truncated frame, or a CRC mismatch on the final record all surface as
+// errTornTail — the caller truncates there. (A CRC mismatch that is *not*
+// at the tail is indistinguishable from one that is until the next read;
+// since appends are sequential and fsync'd, treating every bad frame as the
+// tail is the standard WAL recovery rule.)
+func readRecord(r io.Reader) ([]byte, error) {
+	size, err := wire.ReadUvarint(r)
+	if err != nil {
+		return nil, errTornTail // EOF at boundary or mid-varint
+	}
+	if size == 0 || size > maxRecord {
+		return nil, errTornTail // garbage length: treat as torn
+	}
+	buf := make([]byte, size+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, errTornTail
+	}
+	body, sum := buf[:size], buf[size:]
+	want := uint32(sum[0]) | uint32(sum[1])<<8 | uint32(sum[2])<<16 | uint32(sum[3])<<24
+	if crc32.Checksum(body, castagnoli) != want {
+		return nil, errTornTail
+	}
+	return body, nil
+}
+
+// apply folds one decoded record into the state.
+func (st *State) apply(body []byte) error {
+	rd := wire.NewReader(body)
+	switch kind := rd.Byte(); kind {
+	case recMeta:
+		st.N = rd.Int()
+		st.T = rd.Int()
+		if err := rd.Close(); err != nil {
+			return fmt.Errorf("%w: meta: %v", ErrCorrupt, err)
+		}
+		st.HasMeta = true
+	case recInstance:
+		if st.Partial != nil {
+			return fmt.Errorf("%w: instance record inside instance %d", ErrCorrupt, st.Partial.Seq)
+		}
+		inst := &Instance{}
+		inst.Seq = rd.Uvarint()
+		inst.Kind = rd.Byte()
+		inst.Protocol = string(rd.Bytes())
+		inst.Width = rd.Int()
+		inst.Input = readBig(rd)
+		inst.Diam = readBig(rd)
+		inst.Eps = readBig(rd)
+		if err := rd.Close(); err != nil {
+			return fmt.Errorf("%w: instance: %v", ErrCorrupt, err)
+		}
+		if inst.Seq != st.Seq {
+			return fmt.Errorf("%w: instance %d follows %d completed", ErrCorrupt, inst.Seq, st.Seq)
+		}
+		st.Partial = inst
+	case recRound:
+		if st.Partial == nil {
+			return fmt.Errorf("%w: round record outside an instance", ErrCorrupt)
+		}
+		count := rd.Int()
+		msgs := make([]transport.Message, 0, count)
+		for i := 0; i < count; i++ {
+			from := rd.Int()
+			msgs = append(msgs, transport.Message{From: transport.PartyID(from), Payload: rd.Bytes()})
+		}
+		if err := rd.Close(); err != nil {
+			return fmt.Errorf("%w: round: %v", ErrCorrupt, err)
+		}
+		st.Partial.Rounds = append(st.Partial.Rounds, msgs)
+		st.NextRound++
+	case recEnd:
+		if st.Partial == nil {
+			return fmt.Errorf("%w: end record outside an instance", ErrCorrupt)
+		}
+		out := readBig(rd)
+		if err := rd.Close(); err != nil {
+			return fmt.Errorf("%w: end: %v", ErrCorrupt, err)
+		}
+		st.Partial.Done = true
+		st.Partial.Output = out
+		st.Partial = nil // completed instances don't need their rounds
+		st.Seq++
+	default:
+		return fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kind)
+	}
+	return nil
+}
+
+// append frames, writes, and fsyncs one record body.
+func (l *Log) append(body []byte) error {
+	if l.closed {
+		return ErrClosed
+	}
+	w := wire.NewWriter(len(body) + 16)
+	w.Uvarint(uint64(len(body)))
+	w.Raw(body)
+	sum := crc32.Checksum(body, castagnoli)
+	w.Raw([]byte{byte(sum), byte(sum >> 8), byte(sum >> 16), byte(sum >> 24)})
+	if _, err := l.f.Write(w.Finish()); err != nil {
+		return fmt.Errorf("checkpoint: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: fsync: %w", err)
+	}
+	return nil
+}
+
+// AppendMeta records the session geometry. Written once, before the first
+// instance.
+func (l *Log) AppendMeta(n, t int) error {
+	w := wire.NewWriter(16)
+	w.Byte(recMeta)
+	w.Uvarint(uint64(n))
+	w.Uvarint(uint64(t))
+	return l.append(w.Finish())
+}
+
+// AppendInstance records the start of instance inst (its parameters only;
+// rounds follow as they complete).
+func (l *Log) AppendInstance(inst *Instance) error {
+	w := wire.NewWriter(64)
+	w.Byte(recInstance)
+	w.Uvarint(inst.Seq)
+	w.Byte(inst.Kind)
+	w.Bytes([]byte(inst.Protocol))
+	w.Uvarint(uint64(inst.Width))
+	writeBig(w, inst.Input)
+	writeBig(w, inst.Diam)
+	writeBig(w, inst.Eps)
+	return l.append(w.Finish())
+}
+
+// AppendRound records one completed round's delivered inbox.
+func (l *Log) AppendRound(msgs []transport.Message) error {
+	size := 16
+	for _, m := range msgs {
+		size += len(m.Payload) + 8
+	}
+	w := wire.NewWriter(size)
+	w.Byte(recRound)
+	w.Uvarint(uint64(len(msgs)))
+	for _, m := range msgs {
+		w.Uvarint(uint64(m.From))
+		w.Bytes(m.Payload)
+	}
+	return l.append(w.Finish())
+}
+
+// AppendEnd records the successful completion of the current instance.
+func (l *Log) AppendEnd(output *big.Int) error {
+	w := wire.NewWriter(32)
+	w.Byte(recEnd)
+	writeBig(w, output)
+	return l.append(w.Finish())
+}
+
+// Close releases the file. Records already appended are durable.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}
+
+// writeBig encodes an optional big.Int as presence/sign byte + magnitude.
+func writeBig(w *wire.Writer, v *big.Int) {
+	switch {
+	case v == nil:
+		w.Byte(0)
+	case v.Sign() < 0:
+		w.Byte(2)
+		w.Bytes(v.Bytes())
+	default:
+		w.Byte(1)
+		w.Bytes(v.Bytes())
+	}
+}
+
+// readBig decodes writeBig's encoding.
+func readBig(rd *wire.Reader) *big.Int {
+	switch rd.Byte() {
+	case 0:
+		return nil
+	case 2:
+		return new(big.Int).Neg(new(big.Int).SetBytes(rd.Bytes()))
+	default:
+		return new(big.Int).SetBytes(rd.Bytes())
+	}
+}

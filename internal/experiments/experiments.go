@@ -91,6 +91,7 @@ func All(quick bool) []Table {
 		E15LoadBalance(quick),
 		E16DispersalAblation(quick),
 		E17FaultSweep(quick),
+		E18CrashRecovery(quick),
 	}
 }
 
@@ -131,6 +132,8 @@ func ByID(id string, quick bool) (Table, error) {
 		return E16DispersalAblation(quick), nil
 	case "E17":
 		return E17FaultSweep(quick), nil
+	case "E18":
+		return E18CrashRecovery(quick), nil
 	default:
 		return Table{}, fmt.Errorf("experiments: unknown experiment %q", id)
 	}

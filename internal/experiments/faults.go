@@ -109,7 +109,12 @@ func e17Run(n int, inputs []*big.Int, cfg ca.FaultConfig) e17Result {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			tr := ca.WrapFaulty(locals[i], cfg)
+			tr, err := ca.WrapFaulty(locals[i], cfg)
+			if err != nil {
+				res.errs[i] = err
+				locals[i].Close()
+				return
+			}
 			// Leaving the lock-step cluster on return (success or failure)
 			// keeps the surviving parties' rounds closing.
 			defer locals[i].Close()
@@ -172,9 +177,9 @@ func E17FaultSweep(quick bool) Table {
 		ns = []int{7, 16}
 	}
 	tab := Table{
-		ID:    "E17",
-		Title: "Fault injection sweep over the deployment transport",
-		Claim: "with all faults confined to ≤ t parties' links, Π_ℤ keeps agreement and convex validity over the clean parties for every fault kind, and identically-seeded runs replay identical transcripts",
+		ID:     "E17",
+		Title:  "Fault injection sweep over the deployment transport",
+		Claim:  "with all faults confined to ≤ t parties' links, Π_ℤ keeps agreement and convex validity over the clean parties for every fault kind, and identically-seeded runs replay identical transcripts",
 		Header: []string{"scenario", "n", "t", "faulty", "agree", "validity", "replay", "rounds"},
 	}
 	mark := func(ok bool) string {

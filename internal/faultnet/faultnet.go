@@ -102,6 +102,17 @@ type Crash struct {
 	ToRound   int
 }
 
+// Kill hard-fails party Party's Exchange at the start of round Round with
+// ErrKilled — a process crash, as opposed to Crash's silence window. The
+// party's wrapper stops participating entirely; recovery means the caller
+// restarts the party (typically from a checkpoint) and re-wraps its
+// transport with WrapAt at the resume round, which marks the fired kill
+// consumed. Each Kill fires at most once per wrapper.
+type Kill struct {
+	Party int
+	Round int
+}
+
 // Plan is a per-round, per-link fault schedule. The zero value injects
 // nothing. Plans are read-only once in use and may be shared by all
 // parties' wrappers.
@@ -112,6 +123,7 @@ type Plan struct {
 	Rules      []Rule
 	Partitions []Partition
 	Crashes    []Crash
+	Kills      []Kill
 	// MaxRounds, when positive, makes Exchange fail with ErrRoundLimit
 	// after that many rounds — a liveness cutoff so a protocol starved by
 	// faults surfaces as an error instead of a hang.
@@ -120,6 +132,9 @@ type Plan struct {
 
 // ErrRoundLimit reports that a wrapped party exceeded Plan.MaxRounds.
 var ErrRoundLimit = errors.New("faultnet: round limit exceeded")
+
+// ErrKilled reports that a scheduled Kill fired at this party.
+var ErrKilled = errors.New("faultnet: party killed by plan")
 
 // Net wraps one party's transport handle with the plan's faults. It
 // implements transport.Net. Not safe for concurrent use, matching the
@@ -135,22 +150,43 @@ type Net struct {
 	// digest is a running FNV-1a over everything this party received, for
 	// replay-determinism assertions.
 	digest uint64
+	// killsFired marks plan Kills already consumed by this wrapper (by
+	// index into plan.Kills) so each fires at most once.
+	killsFired []bool
 }
 
 var _ transport.Net = (*Net)(nil)
 
 // Wrap layers plan over inner. A nil plan is treated as the empty plan.
 func Wrap(inner transport.Net, plan *Plan) *Net {
+	return WrapAt(inner, plan, 0)
+}
+
+// WrapAt is Wrap for a restarted party: the wrapper's round counter starts
+// at startRound (the party's checkpointed resume round), and every Kill
+// scheduled at or before startRound is marked consumed — a party resuming
+// at round r was, by construction, already killed by the kill that put it
+// there, so the same plan can be re-applied without re-firing it.
+func WrapAt(inner transport.Net, plan *Plan, startRound int) *Net {
 	if plan == nil {
 		plan = &Plan{}
 	}
-	return &Net{
-		inner:  inner,
-		plan:   plan,
-		self:   int(inner.ID()),
-		held:   make(map[int][]transport.Packet),
-		digest: 1469598103934665603, // FNV-1a offset basis
+	n := &Net{
+		inner:      inner,
+		plan:       plan,
+		self:       int(inner.ID()),
+		round:      startRound,
+		held:       make(map[int][]transport.Packet),
+		digest:     1469598103934665603, // FNV-1a offset basis
+		killsFired: make([]bool, len(plan.Kills)),
 	}
+	for i := range plan.Kills {
+		k := &plan.Kills[i]
+		if k.Party == n.self && (k.Round < startRound || (startRound > 0 && k.Round == startRound)) {
+			n.killsFired[i] = true
+		}
+	}
+	return n
 }
 
 // ID implements transport.Net.
@@ -174,6 +210,16 @@ func (f *Net) Transcript() uint64 { return f.digest }
 // to out and the crash window to the inbox.
 func (f *Net) Exchange(out []transport.Packet) ([]transport.Message, error) {
 	r := f.round
+	// Kills fire before anything reaches the inner transport, so the inner
+	// connection's round equals the checkpoint's recorded round count and a
+	// resumed party picks up exactly where the kill struck.
+	for i := range f.plan.Kills {
+		k := &f.plan.Kills[i]
+		if k.Party == f.self && k.Round == r && !f.killsFired[i] {
+			f.killsFired[i] = true
+			return nil, fmt.Errorf("%w: party %d at round %d", ErrKilled, f.self, r)
+		}
+	}
 	if f.plan.MaxRounds > 0 && r >= f.plan.MaxRounds {
 		return nil, fmt.Errorf("%w: %d rounds", ErrRoundLimit, r)
 	}

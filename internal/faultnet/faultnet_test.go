@@ -359,3 +359,113 @@ func TestScenarioCatalogBuildsValidPlans(t *testing.T) {
 		}
 	}
 }
+
+// fakeNet is a minimal inner transport for unit-testing wrapper logic
+// without a hub: Exchange loops back self-addressed packets.
+type fakeNet struct {
+	id, n, t  int
+	exchanges int
+}
+
+func (f *fakeNet) ID() transport.PartyID { return transport.PartyID(f.id) }
+func (f *fakeNet) N() int                { return f.n }
+func (f *fakeNet) T() int                { return f.t }
+func (f *fakeNet) Exchange(out []transport.Packet) ([]transport.Message, error) {
+	f.exchanges++
+	var in []transport.Message
+	for _, p := range out {
+		if int(p.To) == f.id {
+			in = append(in, transport.Message{From: p.To, Payload: p.Payload})
+		}
+	}
+	return in, nil
+}
+
+func TestKillFiresOnceBeforeInnerExchange(t *testing.T) {
+	inner := &fakeNet{id: 2, n: 4, t: 1}
+	plan := &faultnet.Plan{Kills: []faultnet.Kill{{Party: 2, Round: 3}}}
+	net := faultnet.Wrap(inner, plan)
+	for r := 0; r < 3; r++ {
+		if _, err := net.Exchange(nil); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	if _, err := net.Exchange(nil); !errors.Is(err, faultnet.ErrKilled) {
+		t.Fatalf("round 3: err = %v, want ErrKilled", err)
+	}
+	if inner.exchanges != 3 {
+		t.Errorf("inner saw %d exchanges, want 3 (kill fires before the inner call)", inner.exchanges)
+	}
+	if net.Round() != 3 {
+		t.Errorf("round after kill = %d, want 3 (the killed round never completed)", net.Round())
+	}
+	// The kill is one-shot on this wrapper: a retry on the SAME wrapper
+	// proceeds (in-process resume over a live connection).
+	if _, err := net.Exchange(nil); err != nil {
+		t.Fatalf("retry after kill: %v", err)
+	}
+	if net.Round() != 4 {
+		t.Errorf("round after retry = %d, want 4", net.Round())
+	}
+}
+
+func TestKillOtherPartyUnaffected(t *testing.T) {
+	inner := &fakeNet{id: 0, n: 4, t: 1}
+	plan := &faultnet.Plan{Kills: []faultnet.Kill{{Party: 2, Round: 1}}}
+	net := faultnet.Wrap(inner, plan)
+	for r := 0; r < 4; r++ {
+		if _, err := net.Exchange(nil); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+}
+
+func TestWrapAtConsumesEarlierKills(t *testing.T) {
+	plan := &faultnet.Plan{Kills: []faultnet.Kill{
+		{Party: 1, Round: 2},
+		{Party: 1, Round: 5},
+	}}
+	// Restart at round 2 — exactly where the first kill struck. That kill
+	// must be consumed (it is what put us here); the later one still fires.
+	net := faultnet.WrapAt(&fakeNet{id: 1, n: 4, t: 1}, plan, 2)
+	if got := net.Round(); got != 2 {
+		t.Fatalf("resumed round = %d, want 2", got)
+	}
+	for r := 2; r < 5; r++ {
+		if _, err := net.Exchange(nil); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	if _, err := net.Exchange(nil); !errors.Is(err, faultnet.ErrKilled) {
+		t.Fatalf("round 5: err = %v, want ErrKilled", err)
+	}
+}
+
+func TestKillInClusterOthersFinish(t *testing.T) {
+	// Party 3 is killed at round 2; the remaining parties must still close
+	// their rounds (the hub retires the leaver) and finish 6 rounds.
+	n := 4
+	plan := &faultnet.Plan{Kills: []faultnet.Kill{{Party: 3, Round: 2}}}
+	fns := make([]func(net transport.Net) error, n)
+	for i := 0; i < n; i++ {
+		id := i
+		fns[i] = func(net transport.Net) error {
+			for r := 0; r < 6; r++ {
+				_, err := transport.ExchangeAll(net, "t", []byte{byte(id), byte(r)})
+				if id == 3 && r == 2 {
+					if !errors.Is(err, faultnet.ErrKilled) {
+						return fmt.Errorf("party 3 round 2: err = %v, want ErrKilled", err)
+					}
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	runCluster(t, n, func(inner transport.Net) transport.Net {
+		return faultnet.Wrap(inner, plan)
+	}, fns)
+}

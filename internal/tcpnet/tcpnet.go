@@ -68,6 +68,17 @@ type Config struct {
 	// listener stays open for the lifetime of the Conn — re-handshakes
 	// after a link failure arrive on it — and is closed by Conn.Close.
 	Listener net.Listener
+	// ResumeRound is the absolute round this party starts at — zero for a
+	// fresh party, the checkpointed next round for one rejoining the mesh
+	// after a crash. The handshake announces it to every peer, which
+	// replays its buffered outbox tail for the gap (or demotes the party
+	// to silent when the gap exceeds its RejoinWindow).
+	ResumeRound uint64
+	// RejoinWindow is how many recent rounds of outgoing frames each
+	// party buffers per peer to serve rejoin replays. 0 means the default
+	// (128); negative disables buffering (rejoining peers with any gap
+	// are demoted to silent).
+	RejoinWindow int
 }
 
 // Errors returned by the transport.
@@ -110,6 +121,12 @@ type Conn struct {
 	byRound map[uint64]map[int][]transport.Message
 	round   uint64
 	closed  bool
+	// tails buffers the last RejoinWindow encoded round frames per peer so
+	// a rejoining peer's gap can be replayed; indexed by party id.
+	tails []map[uint64][]byte
+	// frontier is the highest round any peer has announced in a handshake —
+	// how far ahead the mesh was when this (possibly resumed) party joined.
+	frontier uint64
 
 	listener net.Listener
 	done     chan struct{}
@@ -144,13 +161,25 @@ func Dial(cfg Config) (*Conn, error) {
 	if cfg.ReconnectBase <= 0 {
 		cfg.ReconnectBase = 50 * time.Millisecond
 	}
+	switch {
+	case cfg.RejoinWindow == 0:
+		cfg.RejoinWindow = 128
+	case cfg.RejoinWindow < 0:
+		cfg.RejoinWindow = 0 // disabled
+	}
 	c := &Conn{
-		cfg:     cfg,
-		n:       n,
-		links:   make([]link, n),
-		inbound: make(map[net.Conn]struct{}),
-		byRound: make(map[uint64]map[int][]transport.Message),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		n:        n,
+		links:    make([]link, n),
+		inbound:  make(map[net.Conn]struct{}),
+		byRound:  make(map[uint64]map[int][]transport.Message),
+		round:    cfg.ResumeRound,
+		frontier: cfg.ResumeRound,
+		tails:    make([]map[uint64][]byte, n),
+		done:     make(chan struct{}),
+	}
+	for j := range c.tails {
+		c.tails[j] = make(map[uint64][]byte)
 	}
 	c.cond = sync.NewCond(&c.mu)
 
@@ -184,12 +213,13 @@ func Dial(cfg Config) (*Conn, error) {
 			c.Close()
 			return nil, fmt.Errorf("tcpnet: dial party %d at %s: %w", j, cfg.Addrs[j], err)
 		}
-		if err := writeHandshake(conn, cfg.ID, deadline); err != nil {
+		peerRound, err := c.handshakeAsDialer(conn, deadline)
+		if err != nil {
 			conn.Close()
 			c.Close()
 			return nil, fmt.Errorf("tcpnet: handshake with party %d: %w", j, err)
 		}
-		c.installLink(j, conn)
+		c.installLink(j, conn, peerRound)
 	}
 
 	// Wait for higher ids to dial in.
@@ -225,13 +255,47 @@ func (c *Conn) missingPeer() int {
 }
 
 // installLink records a fresh connection for peer and starts its reader.
-func (c *Conn) installLink(peer int, conn net.Conn) {
+// peerRound is the round the peer announced in its handshake: a peer behind
+// our round is rejoining after a restart, and we replay our buffered outbox
+// tail for the gap [peerRound, round] before going live. A gap the tail no
+// longer covers is unrecoverable — the peer is demoted to silent rather
+// than left permanently desynchronized.
+func (c *Conn) installLink(peer int, conn net.Conn, peerRound uint64) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	l := &c.links[peer]
 	if c.closed || l.state == linkSilent {
+		c.mu.Unlock()
 		conn.Close()
 		return
+	}
+	if peerRound > c.frontier {
+		c.frontier = peerRound
+	}
+	// Collect the replay tail under the lock; write it after release.
+	// Rounds [peerRound, c.round) are mandatory — the peer cannot close
+	// them without our frame. The current round's frame is included when
+	// already sent (its live write raced the link being down); receivers
+	// dedup per (round, peer), so overlap with the live send is harmless.
+	var replay [][]byte
+	for r := peerRound; r <= c.round; r++ {
+		f, ok := c.tails[peer][r]
+		if !ok {
+			if r == c.round {
+				break // not sent yet; the live Exchange will cover it
+			}
+			// Unrecoverable gap: demote for the run.
+			if l.conn != nil {
+				l.conn.Close()
+				l.conn = nil
+			}
+			l.state = linkSilent
+			l.gen++
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		replay = append(replay, f)
 	}
 	if l.conn != nil {
 		// The peer reconnected before we noticed the old connection die;
@@ -241,9 +305,22 @@ func (c *Conn) installLink(peer int, conn net.Conn) {
 	l.conn = conn
 	l.state = linkUp
 	l.gen++
+	gen := l.gen
 	c.wg.Add(1)
-	go c.readLoop(peer, l.gen, conn)
+	go c.readLoop(peer, gen, conn)
 	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	for _, f := range replay {
+		if err := conn.SetWriteDeadline(time.Now().Add(c.cfg.Delta)); err != nil {
+			c.linkLost(peer, gen, err)
+			return
+		}
+		if _, err := conn.Write(f); err != nil {
+			c.linkLost(peer, gen, err)
+			return
+		}
+	}
 }
 
 // acceptLoop accepts (and re-accepts) connections from higher-id peers for
@@ -261,7 +338,9 @@ func (c *Conn) acceptLoop(ln net.Listener) {
 
 // handleInbound authenticates one inbound connection by its handshake and
 // installs it as the peer's link. Garbage handshakes are dropped without
-// disturbing the mesh.
+// disturbing the mesh. The handshake is bidirectional — each side announces
+// (id, current round) — so a rejoining party learns the mesh frontier and
+// peers learn what outbox tail to replay.
 func (c *Conn) handleInbound(conn net.Conn) {
 	c.mu.Lock()
 	if c.closed {
@@ -271,16 +350,35 @@ func (c *Conn) handleInbound(conn net.Conn) {
 	}
 	c.inbound[conn] = struct{}{} // so Close can unblock the handshake read
 	c.mu.Unlock()
-	id, err := readHandshake(conn, time.Now().Add(c.cfg.DialTimeout))
+	deadline := time.Now().Add(c.cfg.DialTimeout)
+	id, peerRound, err := readHello(conn, deadline)
 	c.mu.Lock()
 	delete(c.inbound, conn)
 	closed := c.closed
+	round := c.round
 	c.mu.Unlock()
 	if closed || err != nil || id <= c.cfg.ID || id >= c.n {
 		conn.Close()
 		return
 	}
-	c.installLink(id, conn)
+	if err := writeHello(conn, c.cfg.ID, round, deadline); err != nil {
+		conn.Close()
+		return
+	}
+	c.installLink(id, conn, peerRound)
+}
+
+// handshakeAsDialer announces this party and reads the acceptor's reply,
+// returning the acceptor's current round.
+func (c *Conn) handshakeAsDialer(conn net.Conn, deadline time.Time) (uint64, error) {
+	c.mu.Lock()
+	round := c.round
+	c.mu.Unlock()
+	if err := writeHello(conn, c.cfg.ID, round, deadline); err != nil {
+		return 0, err
+	}
+	_, peerRound, err := readHello(conn, deadline)
+	return peerRound, err
 }
 
 // ID returns this party's identifier.
@@ -351,9 +449,12 @@ func (c *Conn) Exchange(out []transport.Packet) ([]transport.Message, error) {
 		if j == c.cfg.ID {
 			continue
 		}
-		// A broken peer link is that peer's problem (it goes down or
+		// Encode once, buffer the tail for rejoin replays, then ship. A
+		// broken peer link is that peer's problem (it goes down or
 		// silent); the round keeps going for everyone else.
-		c.writeFrame(j, r, perDest[j])
+		frame := wire.EncodeFrame(r, perDest[j])
+		c.bufferTail(j, r, frame)
+		c.writeFrame(j, frame)
 	}
 
 	deadline := time.Now().Add(c.cfg.Delta)
@@ -513,6 +614,12 @@ func (c *Conn) reconnectLoop(peer int) {
 	for attempt := 0; attempt < c.cfg.ReconnectAttempts; attempt++ {
 		wait := backoff + time.Duration(rand.Int63n(int64(backoff)))
 		backoff *= 2
+		// Cap the backoff so a long-absent peer (crashed, checkpointing,
+		// restarting) is probed about once a second rather than ever more
+		// rarely; the rejoin path depends on a timely re-dial.
+		if backoff > time.Second {
+			backoff = time.Second
+		}
 		select {
 		case <-c.done:
 			return
@@ -522,7 +629,8 @@ func (c *Conn) reconnectLoop(peer int) {
 		if err != nil {
 			continue
 		}
-		if err := writeHandshake(conn, c.cfg.ID, time.Now().Add(c.cfg.DialTimeout)); err != nil {
+		peerRound, err := c.handshakeAsDialer(conn, time.Now().Add(c.cfg.DialTimeout))
+		if err != nil {
 			conn.Close()
 			continue
 		}
@@ -533,14 +641,9 @@ func (c *Conn) reconnectLoop(peer int) {
 			conn.Close()
 			return
 		}
-		l.conn = conn
-		l.state = linkUp
-		l.gen++
 		l.reconnecting = false
-		c.wg.Add(1)
-		go c.readLoop(peer, l.gen, conn)
-		c.cond.Broadcast()
 		c.mu.Unlock()
+		c.installLink(peer, conn, peerRound)
 		return
 	}
 	c.mu.Lock()
@@ -553,10 +656,37 @@ func (c *Conn) reconnectLoop(peer int) {
 	c.mu.Unlock()
 }
 
-// writeFrame ships one round frame to peer, tolerating any link state: a
-// peer that is down or silent is simply skipped, and a write failure drives
-// the link state machine instead of failing the round.
-func (c *Conn) writeFrame(peer int, round uint64, payloads [][]byte) {
+// bufferTail records peer's encoded frame for round r and evicts rounds
+// that have slid out of the rejoin window.
+func (c *Conn) bufferTail(peer int, r uint64, frame []byte) {
+	if c.cfg.RejoinWindow <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.tails[peer][r] = frame
+	if r >= uint64(c.cfg.RejoinWindow) {
+		delete(c.tails[peer], r-uint64(c.cfg.RejoinWindow))
+	}
+	c.mu.Unlock()
+}
+
+// FrontierGap reports how many rounds ahead of this party's ResumeRound the
+// mesh was when it (re)joined — the restart-to-rejoin latency in rounds. A
+// fresh party's gap is 0; a rejoining party's gap is how much of its peers'
+// outbox tails had to be replayed.
+func (c *Conn) FrontierGap() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.frontier <= c.cfg.ResumeRound {
+		return 0
+	}
+	return c.frontier - c.cfg.ResumeRound
+}
+
+// writeFrame ships one encoded round frame to peer, tolerating any link
+// state: a peer that is down or silent is simply skipped, and a write
+// failure drives the link state machine instead of failing the round.
+func (c *Conn) writeFrame(peer int, frame []byte) {
 	c.mu.Lock()
 	l := &c.links[peer]
 	if c.closed || l.state != linkUp || l.conn == nil {
@@ -565,7 +695,6 @@ func (c *Conn) writeFrame(peer int, round uint64, payloads [][]byte) {
 	}
 	conn, gen := l.conn, l.gen
 	c.mu.Unlock()
-	frame := wire.EncodeFrame(round, payloads)
 	if err := conn.SetWriteDeadline(time.Now().Add(c.cfg.Delta)); err != nil {
 		c.linkLost(peer, gen, err)
 		return
@@ -575,12 +704,14 @@ func (c *Conn) writeFrame(peer int, round uint64, payloads [][]byte) {
 	}
 }
 
-func writeHandshake(conn net.Conn, id int, deadline time.Time) error {
+// writeHello sends one direction of the (id, round) handshake.
+func writeHello(conn net.Conn, id int, round uint64, deadline time.Time) error {
 	if err := conn.SetWriteDeadline(deadline); err != nil {
 		return err
 	}
-	w := wire.NewWriter(4)
+	w := wire.NewWriter(12)
 	w.Uvarint(uint64(id))
+	w.Uvarint(round)
 	_, err := conn.Write(w.Finish())
 	if err == nil {
 		err = conn.SetWriteDeadline(time.Time{})
@@ -588,21 +719,26 @@ func writeHandshake(conn net.Conn, id int, deadline time.Time) error {
 	return err
 }
 
-func readHandshake(conn net.Conn, deadline time.Time) (int, error) {
+// readHello reads one direction of the (id, round) handshake.
+func readHello(conn net.Conn, deadline time.Time) (int, uint64, error) {
 	if err := conn.SetReadDeadline(deadline); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	v, err := wire.ReadUvarint(conn)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
+	}
+	round, err := wire.ReadUvarint(conn)
+	if err != nil {
+		return 0, 0, err
 	}
 	if err := conn.SetReadDeadline(time.Time{}); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if v > 1<<20 {
-		return 0, fmt.Errorf("tcpnet: absurd peer id %d", v)
+		return 0, 0, fmt.Errorf("tcpnet: absurd peer id %d", v)
 	}
-	return int(v), nil
+	return int(v), round, nil
 }
 
 func sortMessages(msgs []transport.Message) {

@@ -3,6 +3,7 @@ package tcpnet_test
 import (
 	"encoding/binary"
 	"errors"
+	"io"
 	"net"
 	"sync"
 	"testing"
@@ -21,7 +22,13 @@ func rawPeer(t *testing.T, addr string) net.Conn {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { conn.Close() })
-	if _, err := conn.Write([]byte{1}); err != nil { // uvarint handshake: id 1
+	if _, err := conn.Write([]byte{1, 0}); err != nil { // hello: id 1, round 0
+		t.Fatal(err)
+	}
+	// The accepting side replies with its own (id, round) hello; drain it so
+	// the test's raw writes are the next thing the peer parses.
+	reply := make([]byte, 2)
+	if _, err := io.ReadFull(conn, reply); err != nil {
 		t.Fatal(err)
 	}
 	return conn

@@ -1,0 +1,458 @@
+package convexagreement_test
+
+import (
+	"errors"
+	"math/big"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	ca "convexagreement"
+	"convexagreement/internal/supervisor"
+)
+
+// TestSessionPoisonRegression pins the Session error contract: a failed
+// instance leaves Seq unchanged and poisons the session, so two parties can
+// never silently disagree on the instance number after a transient error.
+func TestSessionPoisonRegression(t *testing.T) {
+	const n = 4
+	locals, err := ca.NewLocalCluster(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxRounds 5 starves ProtoOptimal (~90 rounds at n=4): every party's
+	// instance fails mid-protocol.
+	cfg := ca.FaultConfig{MaxRounds: 5}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer locals[i].Close()
+			tr, err := ca.WrapFaulty(locals[i], cfg)
+			if err != nil {
+				t.Errorf("party %d: %v", i, err)
+				return
+			}
+			s := ca.NewSession(tr)
+			if _, err := s.Agree(ca.ProtoOptimal, 0, big.NewInt(int64(10+i))); err == nil {
+				t.Errorf("party %d: starved instance succeeded", i)
+				return
+			}
+			if s.Seq() != 0 {
+				t.Errorf("party %d: seq advanced to %d after a failed instance", i, s.Seq())
+			}
+			if s.Err() == nil {
+				t.Errorf("party %d: no sticky error after failure", i)
+			}
+			// The poison is sticky and returned without touching the network
+			// (the lock-step schedule is already lost).
+			if _, err := s.Agree(ca.ProtoOptimal, 0, big.NewInt(1)); !errors.Is(err, ca.ErrSessionPoisoned) {
+				t.Errorf("party %d: second call = %v, want ErrSessionPoisoned", i, err)
+			}
+			if _, err := s.ApproxAgree(big.NewInt(1), big.NewInt(10), big.NewInt(1)); !errors.Is(err, ca.ErrSessionPoisoned) {
+				t.Errorf("party %d: approx after poison = %v, want ErrSessionPoisoned", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSessionRejectedCallDoesNotPoison: parameter validation failures never
+// started an instance, so they must not poison the session.
+func TestSessionRejectedCallDoesNotPoison(t *testing.T) {
+	locals, err := ca.NewLocalCluster(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer locals[0].Close()
+	s := ca.NewSession(locals[0])
+	if _, err := s.Agree(ca.ProtoOptimal, 0, nil); !errors.Is(err, ca.ErrOptions) {
+		t.Fatalf("nil input: %v", err)
+	}
+	if s.Err() != nil {
+		t.Fatalf("rejected call poisoned the session: %v", s.Err())
+	}
+	if _, err := s.Agree(ca.ProtoOptimal, 0, big.NewInt(3)); err != nil {
+		t.Fatalf("session unusable after rejected call: %v", err)
+	}
+	if s.Seq() != 1 {
+		t.Fatalf("seq = %d, want 1", s.Seq())
+	}
+}
+
+// recoverySoakResult is everything one full soak run produces, for the
+// seed-exact replay comparison.
+type recoverySoakResult struct {
+	outs    [4][]*big.Int // per party per instance; nil where the party failed
+	errs    [4]error
+	digests [4]uint64 // faultnet transcript digests
+	kDigest uint64    // party K's session transcript digest
+	kSeq    uint64
+	health  supervisor.Health
+	runErr  error
+}
+
+// runRecoverySoak drives one full crash-recovery soak: a 4-party channet
+// cluster under a seeded faultnet schedule where party C suffers crash
+// windows and a partition (counting against t = 1) and party K is killed
+// outright several times mid-session, each time resuming from its
+// write-ahead log under the supervisor.
+func runRecoverySoak(t *testing.T, instances int, seed int64, dir string) recoverySoakResult {
+	t.Helper()
+	const (
+		n = 4
+		C = 1 // disturbed party: crash windows + partition, within t=1
+		K = 3 // kill target: checkpointed, supervised, resumed
+	)
+	total := instances * 92 // ~90 rounds/instance at n=4, plus slack
+	frac := func(f float64) int { return int(f * float64(total)) }
+	cfg := ca.FaultConfig{
+		Seed: seed,
+		Rules: []ca.FaultRule{
+			{Kind: ca.FaultDrop, From: ca.AnyParty, To: C, Prob: 0.10},
+			{Kind: ca.FaultDelay, From: C, To: ca.AnyParty, Prob: 0.10, DelayRounds: 2},
+		},
+		Crashes: []ca.FaultCrash{
+			{Party: C, FromRound: frac(0.30), ToRound: frac(0.30) + 25},
+		},
+		Partitions: []ca.FaultPartition{
+			{FromRound: frac(0.55), ToRound: frac(0.55) + 15, GroupA: []int{C}},
+		},
+		Kills: []ca.FaultKill{
+			{Party: K, Round: frac(0.02)},
+			{Party: K, Round: frac(0.22)},
+			{Party: K, Round: frac(0.45)},
+			{Party: K, Round: frac(0.68)},
+			{Party: K, Round: frac(0.90)},
+		},
+	}
+	// Clean parties' inputs span a band per instance; the disturbed party's
+	// input sits inside it, so hull assertions are uniform whether or not C
+	// manages to act honestly.
+	input := func(party, seq int) *big.Int {
+		base := int64(1000 * seq)
+		switch party {
+		case 0:
+			return big.NewInt(base + 1)
+		case C:
+			return big.NewInt(base + 9)
+		case 2:
+			return big.NewInt(base + 9)
+		default: // K
+			return big.NewInt(base + 17)
+		}
+	}
+
+	locals, err := ca.NewLocalCluster(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := recoverySoakResult{}
+	for i := range res.outs {
+		res.outs[i] = make([]*big.Int, instances)
+	}
+	var wg sync.WaitGroup
+
+	// Plain parties (including the disturbed C) run unsupervised sessions.
+	for i := 0; i < n; i++ {
+		if i == K {
+			continue
+		}
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer locals[i].Close()
+			tr, err := ca.WrapFaulty(locals[i], cfg)
+			if err != nil {
+				res.errs[i] = err
+				return
+			}
+			defer func() { res.digests[i] = tr.Transcript() }()
+			s := ca.NewSession(tr)
+			for seq := 0; seq < instances; seq++ {
+				out, err := s.Agree(ca.ProtoOptimal, 0, input(i, seq))
+				if err != nil {
+					res.errs[i] = err
+					return
+				}
+				res.outs[i][seq] = out
+			}
+		}()
+	}
+
+	// Party K: one faultnet wrapper for the whole run (its kill schedule is
+	// one-shot per wrapper), a fresh Session per supervisor attempt, each
+	// resuming from the write-ahead log. In-process restart reuses the same
+	// hub connection, so peers simply block until K is back — K loses no
+	// messages and stays clean.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer locals[K].Close()
+		trK, err := ca.WrapFaulty(locals[K], cfg)
+		if err != nil {
+			res.runErr = err
+			return
+		}
+		defer func() { res.digests[K] = trK.Transcript() }()
+		res.health, res.runErr = supervisor.Run(supervisor.Config{
+			Delta:       100 * time.Millisecond,
+			StallRounds: 100, // rounds close in microseconds; never fires here
+			MaxRestarts: len(cfg.Kills) + 2,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  2 * time.Millisecond,
+			N:           n,
+			T:           1,
+		}, func(a *supervisor.Attempt) error {
+			s := ca.NewSession(trK)
+			if err := s.Resume(dir); err != nil {
+				return err
+			}
+			defer s.Close()
+			a.Progress(s.Rounds)
+			for seq := s.Seq(); seq < uint64(instances); seq++ {
+				out, err := s.Agree(ca.ProtoOptimal, 0, input(K, int(seq)))
+				if err != nil {
+					return err
+				}
+				res.outs[K][seq] = out
+			}
+			res.kDigest = s.Transcript()
+			res.kSeq = s.Seq()
+			return nil
+		})
+	}()
+	wg.Wait()
+	return res
+}
+
+// TestCrashRecoverySoak is the long-haul chaos soak of the acceptance
+// criteria: a 200-instance session under a seeded crash/partition/kill
+// schedule, asserting agreement, convex validity, Seq consistency across
+// restarts, and seed-exact replay of the recovered transcript.
+func TestCrashRecoverySoak(t *testing.T) {
+	instances := 200
+	if testing.Short() {
+		instances = 30
+	}
+	const seed = 0x5eed2026
+
+	check := func(res recoverySoakResult) {
+		t.Helper()
+		if res.runErr != nil {
+			t.Fatalf("supervised party: %v (health %s)", res.runErr, res.health)
+		}
+		for _, i := range []int{0, 2} {
+			if res.errs[i] != nil {
+				t.Fatalf("clean party %d: %v", i, res.errs[i])
+			}
+		}
+		if res.kSeq != uint64(instances) {
+			t.Fatalf("K finished with Seq=%d, want %d", res.kSeq, instances)
+		}
+		if want := 6; res.health.Attempts != want { // 5 kills, 1 restart each
+			t.Errorf("supervisor attempts = %d, want %d (health %s)", res.health.Attempts, want, res.health)
+		}
+		// The in-process restart loses no messages, so K is a CLEAN party:
+		// agreement and convex validity must hold across {0, 2, K}, every
+		// instance, kills included.
+		for seq := 0; seq < instances; seq++ {
+			o := res.outs[0][seq]
+			if o == nil || res.outs[2][seq] == nil || res.outs[3][seq] == nil {
+				t.Fatalf("instance %d: missing output", seq)
+			}
+			if res.outs[2][seq].Cmp(o) != 0 || res.outs[3][seq].Cmp(o) != 0 {
+				t.Fatalf("instance %d: clean parties disagree: %v %v %v",
+					seq, o, res.outs[2][seq], res.outs[3][seq])
+			}
+			lo, hi := big.NewInt(int64(1000*seq)+1), big.NewInt(int64(1000*seq)+17)
+			if o.Cmp(lo) < 0 || o.Cmp(hi) > 0 {
+				t.Fatalf("instance %d: output %v outside clean hull [%v, %v]", seq, o, lo, hi)
+			}
+		}
+	}
+
+	resA := runRecoverySoak(t, instances, seed, t.TempDir())
+	check(resA)
+	resB := runRecoverySoak(t, instances, seed, t.TempDir())
+	check(resB)
+
+	// Seed-exact replay: the recovered runs must be bit-identical — session
+	// transcript digest at K and faultnet transcript digests everywhere.
+	if resA.kDigest != resB.kDigest {
+		t.Errorf("K session transcript differs across identically-seeded runs: %x vs %x", resA.kDigest, resB.kDigest)
+	}
+	for i := 0; i < 4; i++ {
+		if resA.digests[i] != resB.digests[i] {
+			t.Errorf("party %d faultnet transcript differs across identically-seeded runs", i)
+		}
+	}
+	for seq := 0; seq < instances; seq++ {
+		if resA.outs[0][seq].Cmp(resB.outs[0][seq]) != 0 {
+			t.Fatalf("instance %d output differs across identically-seeded runs", seq)
+		}
+	}
+}
+
+// TestCrashRecoveryTCPRejoin kills a checkpointed party mid-instance on a
+// real TCP mesh and asserts it resumes from its write-ahead log, rejoins
+// via the epoch-stamped handshake (peers replay their outbox tails), and
+// completes the session, while the clean parties preserve agreement and
+// convex validity throughout.
+func TestCrashRecoveryTCPRejoin(t *testing.T) {
+	const (
+		n         = 4
+		K         = 3 // highest id: dials everyone, needs no listener rebind
+		instances = 2
+		killRound = 100 // mid-instance 1 (~90 rounds/instance at n=4)
+	)
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n-1; i++ { // party K needs no listener
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	addrs[K] = "127.0.0.1:0" // never listened on nor dialed
+	cfg := ca.FaultConfig{Kills: []ca.FaultKill{{Party: K, Round: killRound}}}
+	dir := t.TempDir()
+
+	var (
+		wg    sync.WaitGroup
+		outs  [n][instances]*big.Int
+		errs  [n]error
+		kDone = make(chan struct{})
+	)
+	input := func(party, seq int) *big.Int {
+		return big.NewInt(int64(100*seq + 3*party + 1))
+	}
+
+	// Clean parties: plain sessions; after finishing they hold the mesh
+	// open until K is done, serving its catch-up from their outbox tails.
+	for i := 0; i < n-1; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr, err := ca.DialTCP(ca.TCPConfig{
+				ID: i, Addrs: addrs, Delta: 300 * time.Millisecond,
+				Listener: listeners[i], RejoinWindow: 4096,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer tr.Close()
+			s := ca.NewSession(tr)
+			for seq := 0; seq < instances; seq++ {
+				if outs[i][seq], errs[i] = s.Agree(ca.ProtoOptimal, 0, input(i, seq)); errs[i] != nil {
+					return
+				}
+			}
+			<-kDone
+		}()
+	}
+
+	// Party K: supervised, checkpointed, killed once at killRound, rejoining
+	// with ResumeRound from its recovered state.
+	var (
+		health supervisor.Health
+		runErr error
+		kSeq   uint64
+		gap    uint64
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(kDone)
+		health, runErr = supervisor.Run(supervisor.Config{
+			Delta:       300 * time.Millisecond,
+			StallRounds: 40,
+			MaxRestarts: 3,
+			BackoffBase: 2 * time.Millisecond,
+			N:           n,
+			T:           1,
+		}, func(a *supervisor.Attempt) error {
+			st, err := ca.InspectState(dir)
+			if err != nil {
+				return err
+			}
+			tcp, err := ca.DialTCP(ca.TCPConfig{
+				ID: K, Addrs: addrs, Delta: 300 * time.Millisecond,
+				ResumeRound: st.NextRound, RejoinWindow: 4096,
+			})
+			if err != nil {
+				return err
+			}
+			defer tcp.Close()
+			a.AbortOnStall(func() { tcp.Close() })
+			tr, err := ca.WrapFaultyAt(tcp, cfg, st.NextRound)
+			if err != nil {
+				return err
+			}
+			s := ca.NewSession(tr)
+			if err := s.Resume(dir); err != nil {
+				return err
+			}
+			defer s.Close()
+			a.Progress(s.Rounds)
+			a.ReportPeers(n - len(tcp.Faulty()))
+			for seq := s.Seq(); seq < instances; seq++ {
+				out, err := s.Agree(ca.ProtoOptimal, 0, input(K, int(seq)))
+				if err != nil {
+					return err
+				}
+				outs[K][seq] = out
+			}
+			kSeq = s.Seq()
+			gap = tcp.FrontierGap()
+			return nil
+		})
+	}()
+	wg.Wait()
+
+	if runErr != nil {
+		t.Fatalf("supervised party: %v (health %s)", runErr, health)
+	}
+	for i := 0; i < n-1; i++ {
+		if errs[i] != nil {
+			t.Fatalf("party %d: %v", i, errs[i])
+		}
+	}
+	if kSeq != instances {
+		t.Fatalf("K finished with Seq=%d, want %d", kSeq, instances)
+	}
+	if health.Attempts != 2 {
+		t.Errorf("supervisor attempts = %d, want 2 (health %s)", health.Attempts, health)
+	}
+	// The mesh ran ahead while K restarted; the rejoin handshake must have
+	// observed (and the tails covered) a positive frontier gap.
+	if gap == 0 {
+		t.Errorf("FrontierGap = 0, want > 0 after a mid-session rejoin")
+	}
+	// Clean parties: agreement + convex validity on every instance. K's
+	// restart charges its downtime as omissions (within t = 1), so K itself
+	// is only asserted to terminate consistently on the pre-kill instance.
+	for seq := 0; seq < instances; seq++ {
+		o := outs[0][seq]
+		for i := 1; i < n-1; i++ {
+			if outs[i][seq].Cmp(o) != 0 {
+				t.Fatalf("instance %d: parties 0 and %d disagree: %v vs %v", seq, i, o, outs[i][seq])
+			}
+		}
+		lo, hi := input(0, seq), input(K, seq)
+		if o.Cmp(lo) < 0 || o.Cmp(hi) > 0 {
+			t.Fatalf("instance %d: output %v outside hull [%v, %v]", seq, o, lo, hi)
+		}
+	}
+	if outs[K][0] == nil || outs[K][0].Cmp(outs[0][0]) != 0 {
+		t.Fatalf("K's pre-kill instance output %v, peers agreed on %v", outs[K][0], outs[0][0])
+	}
+}

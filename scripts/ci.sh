@@ -1,10 +1,18 @@
 #!/bin/sh
-# Minimal CI gate: static checks, full build + test, and the race detector
-# over the packages with real concurrency (the lock-step scheduler and the
-# pooled codec). Mirrors `make ci`.
+# Minimal CI gate: formatting, static checks, full build + test, and the
+# race detector over the packages with real concurrency (the root package's
+# sessions and soaks run -short so the gate stays fast). Mirrors `make ci`.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet"
 go vet ./...
@@ -15,8 +23,8 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (sim, rs, tcpnet, channet, faultnet)"
-go test -race ./internal/sim/... ./internal/rs/... ./internal/tcpnet/... ./internal/channet/... ./internal/faultnet/...
+echo "== go test -race (root, sim, rs, tcpnet, channet, faultnet, mux, asyncnet)"
+go test -race -short . ./internal/sim/... ./internal/rs/... ./internal/tcpnet/... ./internal/channet/... ./internal/faultnet/... ./internal/mux/... ./internal/asyncnet/...
 
 echo "== go test -fuzz smoke (wire frames, baplus tuples)"
 go test -run '^$' -fuzz FuzzReadFrame -fuzztime 5s ./internal/wire/

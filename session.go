@@ -1,10 +1,14 @@
 package convexagreement
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
+	"sync/atomic"
 
 	"convexagreement/internal/aa"
+	"convexagreement/internal/checkpoint"
+	"convexagreement/internal/transport"
 )
 
 // Session runs a sequence of agreement instances over one long-lived
@@ -13,38 +17,335 @@ import (
 // back-to-back in the synchronous schedule: every party must call the same
 // methods in the same order, which the transport's lock-step rounds then
 // align automatically.
+//
+// Error contract: a failed instance POISONS the session. Because the
+// schedule is lock-step, a party whose instance aborted mid-protocol has
+// lost round alignment with its peers — silently continuing would let two
+// parties disagree on the instance number (and round) forever. After an
+// error, Seq is unchanged and every further Agree/ApproxAgree returns
+// ErrSessionPoisoned wrapping the original failure. Recovery is explicit:
+// a checkpointed session (see Checkpoint) is re-opened with NewSession +
+// Resume, which replays the write-ahead log and rejoins at the exact round
+// the session died in; an uncheckpointed session must be abandoned along
+// with its transport.
 type Session struct {
 	tr  Transport
 	seq uint64
+	err error // sticky poison; nil while healthy
+
+	rounds atomic.Uint64 // total rounds exchanged, watchdog-probe safe
+	digest uint64        // FNV-1a over every delivered round (replayed + live)
+
+	log      *checkpoint.Log      // nil when not checkpointing
+	partial  *checkpoint.Instance // pending replay after Resume
+	replay   [][]transport.Message
+	replayAt int
 }
 
 // NewSession wraps a connected transport.
 func NewSession(tr Transport) *Session {
-	return &Session{tr: tr}
+	return &Session{tr: tr, digest: fnvOffset}
 }
 
-// Seq returns the number of instances completed so far.
+// ErrSessionPoisoned marks a session dead after a failed instance; see the
+// Session error contract.
+var ErrSessionPoisoned = errors.New("convexagreement: session poisoned by failed instance")
+
+// ErrResumeMismatch reports that a resumed instance was re-driven with
+// different parameters than the write-ahead log recorded. Deterministic
+// replay requires the caller to re-issue the exact call that was in flight
+// when the session died.
+var ErrResumeMismatch = errors.New("convexagreement: resumed call does not match checkpointed instance")
+
+// ErrReplayDiverged reports that replaying the write-ahead log did not
+// reproduce the recorded execution (the instance finished with recorded
+// rounds left over) — the protocol, inputs, or log are inconsistent.
+var ErrReplayDiverged = errors.New("convexagreement: checkpoint replay diverged")
+
+// Seq returns the number of instances completed so far (including
+// completed instances recovered by Resume).
 func (s *Session) Seq() uint64 { return s.seq }
+
+// Err returns the sticky error that poisoned the session, or nil.
+func (s *Session) Err() error { return s.err }
+
+// Rounds returns the total number of rounds this session has exchanged,
+// counting rounds replayed from a checkpoint. It is safe to call from
+// other goroutines (a supervisor's stall probe) while an instance runs.
+func (s *Session) Rounds() uint64 { return s.rounds.Load() }
+
+// Transcript returns an FNV-1a digest of every round inbox delivered to
+// this session object, replayed and live alike. Identically-seeded
+// deterministic runs — including runs interrupted by crash/resume at the
+// same rounds — yield identical digests.
+func (s *Session) Transcript() uint64 { return s.digest }
+
+// Checkpoint enables durable write-ahead logging of this session into dir:
+// instance parameters and every completed round's inbox are CRC-framed,
+// appended, and fsync'd, so the session can be resumed after a crash (see
+// Resume). dir must not already contain session state; use Resume to
+// continue an existing checkpoint.
+func (s *Session) Checkpoint(dir string) error {
+	log, st, err := checkpoint.Open(dir)
+	if err != nil {
+		return err
+	}
+	if st.HasMeta || st.Seq > 0 || st.Partial != nil {
+		log.Close()
+		return fmt.Errorf("%w: %s already holds session state; use Resume", ErrOptions, dir)
+	}
+	if err := log.AppendMeta(s.tr.N(), s.tr.T()); err != nil {
+		log.Close()
+		return err
+	}
+	s.log = log
+	return nil
+}
+
+// Resume loads checkpointed session state from dir and continues recording
+// into it. Completed instances advance Seq without re-running; if the log
+// ends inside an instance, the next Agree/ApproxAgree call must repeat the
+// recorded parameters exactly and will first replay the recorded rounds
+// (reconstructing the protocol state deterministically, without touching
+// the network) before going live at the round the session died in.
+//
+// The transport must already be positioned at the resume round: a
+// rejoining TCP party dials with TCPConfig.ResumeRound = the NextRound
+// reported by InspectState, and a fault-injection wrapper is re-created
+// with WrapFaultyAt at the same round.
+func (s *Session) Resume(dir string) error {
+	log, st, err := checkpoint.Open(dir)
+	if err != nil {
+		return err
+	}
+	if st.HasMeta && (st.N != s.tr.N() || st.T != s.tr.T()) {
+		log.Close()
+		return fmt.Errorf("%w: checkpoint is for n=%d t=%d, transport has n=%d t=%d",
+			ErrOptions, st.N, st.T, s.tr.N(), s.tr.T())
+	}
+	if !st.HasMeta {
+		if err := log.AppendMeta(s.tr.N(), s.tr.T()); err != nil {
+			log.Close()
+			return err
+		}
+	}
+	s.log = log
+	s.seq = st.Seq
+	s.partial = st.Partial
+	return nil
+}
+
+// SessionState is what InspectState recovered from a checkpoint directory.
+type SessionState struct {
+	// Seq is the number of completed instances.
+	Seq uint64
+	// NextRound is the absolute transport round at which a resumed session
+	// goes live — pass it as TCPConfig.ResumeRound (and WrapFaultyAt's
+	// startRound) before calling NewSession + Resume.
+	NextRound uint64
+	// Partial reports whether the log ends inside an instance, whose call
+	// must be re-issued with identical parameters after Resume.
+	Partial bool
+}
+
+// InspectState peeks at a checkpoint directory without opening a session —
+// the first step of a restart, run before the transport is dialed. A
+// missing or empty checkpoint yields the zero state.
+func InspectState(dir string) (SessionState, error) {
+	st, err := checkpoint.Inspect(dir)
+	if err != nil {
+		return SessionState{}, err
+	}
+	return SessionState{Seq: st.Seq, NextRound: st.NextRound, Partial: st.Partial != nil}, nil
+}
+
+// Close releases the checkpoint log, if any. The transport is the
+// caller's to close.
+func (s *Session) Close() error {
+	if s.log != nil {
+		return s.log.Close()
+	}
+	return nil
+}
 
 // Agree runs the next Convex Agreement instance of the session.
 func (s *Session) Agree(protocol Protocol, width int, input *big.Int) (*big.Int, error) {
-	out, err := RunParty(s.tr, protocol, width, input)
-	if err != nil {
-		return nil, fmt.Errorf("session instance %d: %w", s.seq, err)
+	if s.err != nil {
+		return nil, s.err
 	}
-	s.seq++
-	return out, nil
+	if protocol == "" {
+		protocol = ProtoOptimal
+	}
+	// Parameter validation mirrors RunParty. A rejected call never started
+	// an instance on the wire, so it does not poison the session.
+	if input == nil {
+		return nil, fmt.Errorf("%w: nil input", ErrOptions)
+	}
+	if input.Sign() < 0 && !protocol.AcceptsNegative() {
+		return nil, fmt.Errorf("%w: protocol %q takes inputs in ℕ", ErrOptions, protocol)
+	}
+	if protocol.NeedsWidth() && width <= 0 {
+		return nil, fmt.Errorf("%w: protocol %q requires a width", ErrOptions, protocol)
+	}
+	runner, err := protocolRunner(Options{Protocol: protocol, Width: width})
+	if err != nil {
+		return nil, err
+	}
+	inst := &checkpoint.Instance{
+		Seq:      s.seq,
+		Kind:     checkpoint.KindAgree,
+		Protocol: string(protocol),
+		Width:    width,
+		Input:    input,
+	}
+	return s.runInstance(inst, func(net transport.Net) (*big.Int, error) {
+		return runner(net, input)
+	})
 }
 
 // ApproxAgree runs the next synchronous Approximate Agreement instance of
 // the session (see ApproxAgree for the parameter semantics).
 func (s *Session) ApproxAgree(input, diameterBound, epsilon *big.Int) (*big.Int, error) {
-	out, err := RunPartyApprox(s.tr, input, diameterBound, epsilon)
+	if s.err != nil {
+		return nil, s.err
+	}
+	if input == nil || input.Sign() < 0 {
+		return nil, fmt.Errorf("%w: input must be a natural number", ErrOptions)
+	}
+	inst := &checkpoint.Instance{
+		Seq:   s.seq,
+		Kind:  checkpoint.KindApprox,
+		Input: input,
+		Diam:  diameterBound,
+		Eps:   epsilon,
+	}
+	return s.runInstance(inst, func(net transport.Net) (*big.Int, error) {
+		return aa.Run(net, "aa", input, diameterBound, epsilon)
+	})
+}
+
+// runInstance drives one instance through the recording/replaying net,
+// handling the checkpoint bookkeeping and the poison contract.
+func (s *Session) runInstance(inst *checkpoint.Instance, run func(transport.Net) (*big.Int, error)) (*big.Int, error) {
+	if s.partial != nil {
+		if err := matchPartial(s.partial, inst); err != nil {
+			s.err = err
+			return nil, err
+		}
+		s.replay = s.partial.Rounds
+		s.replayAt = 0
+		s.partial = nil
+	} else if s.log != nil {
+		if err := s.log.AppendInstance(inst); err != nil {
+			s.err = fmt.Errorf("%w: %v", ErrSessionPoisoned, err)
+			return nil, err
+		}
+	}
+	out, err := run(sessionNet{s})
 	if err != nil {
-		return nil, fmt.Errorf("session instance %d: %w", s.seq, err)
+		err = fmt.Errorf("session instance %d: %w", s.seq, err)
+		s.err = fmt.Errorf("%w: %v", ErrSessionPoisoned, err)
+		return nil, err
+	}
+	if s.replayAt < len(s.replay) {
+		err := fmt.Errorf("%w: instance %d finished with %d recorded rounds unconsumed",
+			ErrReplayDiverged, s.seq, len(s.replay)-s.replayAt)
+		s.err = err
+		return nil, err
+	}
+	s.replay, s.replayAt = nil, 0
+	if s.log != nil {
+		if err := s.log.AppendEnd(out); err != nil {
+			s.err = fmt.Errorf("%w: %v", ErrSessionPoisoned, err)
+			return nil, err
+		}
 	}
 	s.seq++
 	return out, nil
+}
+
+// matchPartial verifies a resumed call repeats the checkpointed one.
+func matchPartial(rec, call *checkpoint.Instance) error {
+	switch {
+	case rec.Kind != call.Kind:
+		return fmt.Errorf("%w: instance %d is kind %d, called as %d", ErrResumeMismatch, rec.Seq, rec.Kind, call.Kind)
+	case rec.Protocol != call.Protocol || rec.Width != call.Width:
+		return fmt.Errorf("%w: instance %d recorded %s/%d, called with %s/%d",
+			ErrResumeMismatch, rec.Seq, rec.Protocol, rec.Width, call.Protocol, call.Width)
+	case !bigEq(rec.Input, call.Input) || !bigEq(rec.Diam, call.Diam) || !bigEq(rec.Eps, call.Eps):
+		return fmt.Errorf("%w: instance %d parameters differ from the recorded call", ErrResumeMismatch, rec.Seq)
+	}
+	return nil
+}
+
+func bigEq(a, b *big.Int) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Cmp(b) == 0
+}
+
+// sessionNet is the session's view of the transport: it serves replayed
+// rounds from the checkpoint before touching the live network, appends
+// every live round to the write-ahead log, and maintains the session's
+// round counter and transcript digest.
+type sessionNet struct{ s *Session }
+
+var _ transport.Net = sessionNet{}
+
+func (n sessionNet) ID() transport.PartyID { return transport.PartyID(n.s.tr.ID()) }
+func (n sessionNet) N() int                { return n.s.tr.N() }
+func (n sessionNet) T() int                { return n.s.tr.T() }
+
+func (n sessionNet) Exchange(out []transport.Packet) ([]transport.Message, error) {
+	s := n.s
+	if s.replayAt < len(s.replay) {
+		// Replayed round: the protocol's outgoing packets were already on
+		// the wire before the crash; peers hold (or held) them, so out is
+		// discarded and the recorded inbox is served verbatim.
+		msgs := s.replay[s.replayAt]
+		s.replayAt++
+		s.absorb(msgs)
+		return msgs, nil
+	}
+	msgs, err := netAdapter{s.tr}.Exchange(out)
+	if err != nil {
+		return nil, err
+	}
+	if s.log != nil {
+		if err := s.log.AppendRound(msgs); err != nil {
+			return nil, err
+		}
+	}
+	s.absorb(msgs)
+	return msgs, nil
+}
+
+const fnvOffset = 1469598103934665603 // FNV-1a offset basis
+
+// absorb folds one delivered round into the transcript digest and bumps
+// the round counter.
+func (s *Session) absorb(msgs []transport.Message) {
+	d := s.digest
+	d = fnvWord(d, s.rounds.Load())
+	d = fnvWord(d, uint64(len(msgs)))
+	for _, m := range msgs {
+		d = fnvWord(d, uint64(m.From))
+		d = fnvWord(d, uint64(len(m.Payload)))
+		for _, b := range m.Payload {
+			d = (d ^ uint64(b)) * 1099511628211
+		}
+	}
+	s.digest = d
+	s.rounds.Add(1)
+}
+
+func fnvWord(d, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		d = (d ^ (v & 0xff)) * 1099511628211
+		v >>= 8
+	}
+	return d
 }
 
 // RunPartyApprox executes one party's side of synchronous Approximate

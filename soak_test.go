@@ -3,6 +3,7 @@ package convexagreement_test
 import (
 	"math/big"
 	"math/rand"
+	"sync"
 	"testing"
 
 	ca "convexagreement"
@@ -68,6 +69,88 @@ func TestSoak(t *testing.T) {
 		}
 		if !ca.InHull(res.Output, honest) {
 			t.Fatalf("trial %d (%s n=%d): output %v escaped honest hull", trial, proto, n, res.Output)
+		}
+	}
+}
+
+// TestSoakFaultnet soaks the public RunParty surface under seeded transport
+// faults rather than byzantine inputs: each trial wraps a fresh local
+// cluster in a randomized drop+delay schedule concentrated on ≤ t parties
+// and asserts the untouched parties still reach agreement and convex
+// validity.
+func TestSoakFaultnet(t *testing.T) {
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	rng := rand.New(rand.NewSource(2027))
+	for trial := 0; trial < trials; trial++ {
+		n := 4 + rng.Intn(6)
+		tc := (n - 1) / 3
+		disturbed := map[int]bool{}
+		for len(disturbed) < 1+rng.Intn(tc) {
+			disturbed[rng.Intn(n)] = true
+		}
+		cfg := ca.FaultConfig{Seed: rng.Int63(), MaxRounds: 4000}
+		for f := range disturbed {
+			cfg.Rules = append(cfg.Rules,
+				ca.FaultRule{Kind: ca.FaultDrop, From: ca.AnyParty, To: f, Prob: 0.25},
+				ca.FaultRule{Kind: ca.FaultDrop, From: f, To: ca.AnyParty, Prob: 0.15},
+				ca.FaultRule{Kind: ca.FaultDelay, From: f, To: ca.AnyParty, Prob: 0.20, DelayRounds: 2},
+				ca.FaultRule{Kind: ca.FaultDelay, From: ca.AnyParty, To: f, Prob: 0.10, DelayRounds: 3},
+			)
+		}
+		// Clean inputs span a band; disturbed parties sit mid-band so the
+		// hull check is independent of how far their runs get.
+		lo, hi := int64(1000*trial), int64(1000*trial+64)
+		inputs := make([]*big.Int, n)
+		for i := range inputs {
+			if disturbed[i] {
+				inputs[i] = big.NewInt((lo + hi) / 2)
+			} else {
+				inputs[i] = big.NewInt(lo + rng.Int63n(hi-lo+1))
+			}
+		}
+
+		locals, err := ca.NewLocalCluster(n, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs := make([]*big.Int, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer locals[i].Close()
+				tr, err := ca.WrapFaulty(locals[i], cfg)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				outs[i], errs[i] = ca.RunParty(tr, ca.ProtoOptimal, 0, inputs[i])
+			}()
+		}
+		wg.Wait()
+
+		var ref *big.Int
+		for i := 0; i < n; i++ {
+			if disturbed[i] {
+				continue // counted against the t budget; no guarantees
+			}
+			if errs[i] != nil {
+				t.Fatalf("trial %d (n=%d): clean party %d: %v", trial, n, i, errs[i])
+			}
+			if ref == nil {
+				ref = outs[i]
+			} else if outs[i].Cmp(ref) != 0 {
+				t.Fatalf("trial %d (n=%d): clean parties disagree: %v vs %v", trial, n, ref, outs[i])
+			}
+		}
+		if ref.Cmp(big.NewInt(lo)) < 0 || ref.Cmp(big.NewInt(hi)) > 0 {
+			t.Fatalf("trial %d: output %v outside clean band [%d, %d]", trial, ref, lo, hi)
 		}
 	}
 }

@@ -117,6 +117,15 @@ type TCPConfig struct {
 	ReconnectBase time.Duration
 	// Listener optionally supplies a pre-bound listener for Addrs[ID].
 	Listener net.Listener
+	// ResumeRound is the absolute round this party starts at — zero for a
+	// fresh party; a party restarted from a checkpoint passes the NextRound
+	// reported by InspectState so the rejoin handshake can announce where
+	// it resumes and peers can replay their buffered outbox tails.
+	ResumeRound uint64
+	// RejoinWindow is how many recent rounds of outgoing frames this party
+	// buffers per peer to serve rejoining peers. 0 means the default
+	// (128); negative disables buffering.
+	RejoinWindow int
 }
 
 // TCPTransport is a Transport over a TCP full mesh (see internal/tcpnet for
@@ -143,6 +152,8 @@ func DialTCP(cfg TCPConfig) (*TCPTransport, error) {
 		ReconnectAttempts: cfg.ReconnectAttempts,
 		ReconnectBase:     cfg.ReconnectBase,
 		Listener:          cfg.Listener,
+		ResumeRound:       cfg.ResumeRound,
+		RejoinWindow:      cfg.RejoinWindow,
 	})
 	if err != nil {
 		return nil, err
@@ -180,6 +191,10 @@ func (t *TCPTransport) Exchange(out []Packet) ([]Message, error) {
 // caught violating the framing protocol or unreachable after all reconnect
 // attempts — ordered by party id.
 func (t *TCPTransport) Faulty() []int { return t.conn.Faulty() }
+
+// FrontierGap reports how many rounds ahead of this party's ResumeRound the
+// mesh was when it (re)joined — the restart-to-rejoin latency in rounds.
+func (t *TCPTransport) FrontierGap() uint64 { return t.conn.FrontierGap() }
 
 // Close tears down the mesh.
 func (t *TCPTransport) Close() error { return t.conn.Close() }

@@ -1,6 +1,8 @@
 package convexagreement
 
 import (
+	"fmt"
+
 	"convexagreement/internal/faultnet"
 	"convexagreement/internal/transport"
 )
@@ -62,6 +64,17 @@ type FaultCrash struct {
 	ToRound   int
 }
 
+// FaultKill hard-fails one party's Exchange at the start of round Round
+// with ErrKilled — a process crash, unlike FaultCrash's silence window.
+// Recovery is explicit: restart the party (typically from a checkpointed
+// Session) and re-wrap its transport with WrapFaultyAt at the resume
+// round, which marks the fired kill consumed. Each kill fires at most once
+// per wrapper.
+type FaultKill struct {
+	Party int
+	Round int
+}
+
 // FaultConfig is a per-round, per-link fault schedule. The zero value
 // injects nothing (the wrapper is then an exact passthrough). Every party
 // of a cluster must be wrapped with an identical FaultConfig: decisions are
@@ -74,9 +87,61 @@ type FaultConfig struct {
 	Rules      []FaultRule
 	Partitions []FaultPartition
 	Crashes    []FaultCrash
+	Kills      []FaultKill
 	// MaxRounds, when positive, fails Exchange after that many rounds
-	// instead of letting a fault-starved protocol hang.
+	// instead of letting a fault-starved protocol hang. Zero (the default)
+	// means unlimited — there is no cutoff, not a zero-round cutoff.
 	MaxRounds int
+}
+
+// validate rejects configurations that would silently misbehave: rules
+// with probabilities outside [0, 1], inverted or negative round windows,
+// negative delays, party indices below AnyParty, and a negative MaxRounds
+// (zero means unlimited; negative is always a mistake).
+func (c FaultConfig) validate() error {
+	if c.MaxRounds < 0 {
+		return fmt.Errorf("%w: MaxRounds %d is negative (0 means unlimited)", ErrOptions, c.MaxRounds)
+	}
+	for i, r := range c.Rules {
+		switch {
+		case r.Prob < 0 || r.Prob > 1:
+			return fmt.Errorf("%w: rule %d Prob %v outside [0, 1]", ErrOptions, i, r.Prob)
+		case r.From < AnyParty || r.To < AnyParty:
+			return fmt.Errorf("%w: rule %d party index below AnyParty", ErrOptions, i)
+		case r.FromRound < 0:
+			return fmt.Errorf("%w: rule %d FromRound %d is negative", ErrOptions, i, r.FromRound)
+		case r.ToRound > 0 && r.ToRound <= r.FromRound:
+			return fmt.Errorf("%w: rule %d window [%d, %d) is empty", ErrOptions, i, r.FromRound, r.ToRound)
+		case r.DelayRounds < 0:
+			return fmt.Errorf("%w: rule %d DelayRounds %d is negative", ErrOptions, i, r.DelayRounds)
+		case r.Kind > FaultCorrupt:
+			return fmt.Errorf("%w: rule %d unknown fault kind %d", ErrOptions, i, r.Kind)
+		}
+	}
+	for i, p := range c.Partitions {
+		if p.FromRound < 0 {
+			return fmt.Errorf("%w: partition %d FromRound %d is negative", ErrOptions, i, p.FromRound)
+		}
+		if p.ToRound > 0 && p.ToRound <= p.FromRound {
+			return fmt.Errorf("%w: partition %d window [%d, %d) is empty", ErrOptions, i, p.FromRound, p.ToRound)
+		}
+	}
+	for i, cr := range c.Crashes {
+		switch {
+		case cr.Party < 0:
+			return fmt.Errorf("%w: crash %d party %d is negative", ErrOptions, i, cr.Party)
+		case cr.FromRound < 0:
+			return fmt.Errorf("%w: crash %d FromRound %d is negative", ErrOptions, i, cr.FromRound)
+		case cr.ToRound > 0 && cr.ToRound <= cr.FromRound:
+			return fmt.Errorf("%w: crash %d window [%d, %d) is empty", ErrOptions, i, cr.FromRound, cr.ToRound)
+		}
+	}
+	for i, k := range c.Kills {
+		if k.Party < 0 || k.Round < 0 {
+			return fmt.Errorf("%w: kill %d has negative party or round", ErrOptions, i)
+		}
+	}
+	return nil
 }
 
 func (c FaultConfig) plan() *faultnet.Plan {
@@ -106,8 +171,14 @@ func (c FaultConfig) plan() *faultnet.Plan {
 			ToRound:   cr.ToRound,
 		})
 	}
+	for _, k := range c.Kills {
+		plan.Kills = append(plan.Kills, faultnet.Kill{Party: k.Party, Round: k.Round})
+	}
 	return plan
 }
+
+// ErrKilled reports that a scheduled FaultKill fired at this party.
+var ErrKilled = faultnet.ErrKilled
 
 // FaultyTransport is a Transport with a fault schedule interposed on its
 // outgoing (and, for crash windows, incoming) traffic.
@@ -121,9 +192,23 @@ var _ Transport = (*FaultyTransport)(nil)
 // WrapFaulty interposes the fault schedule on tr. The wrapped transport is
 // used in place of tr by this party; faults are applied on the sender side,
 // so each link fault happens exactly once even though every party carries
-// its own wrapper.
-func WrapFaulty(tr Transport, cfg FaultConfig) *FaultyTransport {
-	return &FaultyTransport{inner: tr, net: faultnet.Wrap(netAdapter{tr}, cfg.plan())}
+// its own wrapper. The configuration is validated up front: out-of-range
+// probabilities, inverted windows, and negative counts return ErrOptions
+// instead of silently misbehaving.
+func WrapFaulty(tr Transport, cfg FaultConfig) (*FaultyTransport, error) {
+	return WrapFaultyAt(tr, cfg, 0)
+}
+
+// WrapFaultyAt is WrapFaulty for a restarted party: the wrapper's round
+// counter starts at startRound (the checkpointed resume round reported by
+// InspectState), and every FaultKill at or before startRound is marked
+// consumed, so the identical FaultConfig can be re-applied across restarts
+// without re-firing the kill that caused them.
+func WrapFaultyAt(tr Transport, cfg FaultConfig, startRound uint64) (*FaultyTransport, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &FaultyTransport{inner: tr, net: faultnet.WrapAt(netAdapter{tr}, cfg.plan(), int(startRound))}, nil
 }
 
 // ID implements Transport.

@@ -2,6 +2,7 @@ package convexagreement_test
 
 import (
 	"bytes"
+	"errors"
 	"math/big"
 	"sync"
 	"testing"
@@ -23,7 +24,10 @@ func wrapCluster(t *testing.T, n int, cfg ca.FaultConfig) ([]*ca.FaultyTransport
 	out := make([]*ca.FaultyTransport, n)
 	for i, l := range locals {
 		l := l
-		out[i] = ca.WrapFaulty(l, cfg)
+		out[i], err = ca.WrapFaulty(l, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		t.Cleanup(func() { l.Close() })
 	}
 	return out, locals
@@ -167,5 +171,77 @@ func TestRunPartyUnderFaults(t *testing.T) {
 		if digests[i] != digests2[i] {
 			t.Fatalf("party %d transcript differs across identically-seeded runs", i)
 		}
+	}
+}
+
+// TestWrapFaultyValidation is the table-driven gate over FaultConfig: every
+// way a schedule can silently misbehave must be rejected with ErrOptions.
+func TestWrapFaultyValidation(t *testing.T) {
+	locals, err := ca.NewLocalCluster(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, l := range locals {
+			l.Close()
+		}
+	}()
+	cases := []struct {
+		name string
+		cfg  ca.FaultConfig
+		ok   bool
+	}{
+		{name: "zero config", cfg: ca.FaultConfig{}, ok: true},
+		{name: "zero MaxRounds means unlimited", cfg: ca.FaultConfig{MaxRounds: 0}, ok: true},
+		{name: "negative MaxRounds", cfg: ca.FaultConfig{MaxRounds: -1}},
+		{name: "prob 1 inclusive", cfg: ca.FaultConfig{Rules: []ca.FaultRule{
+			{Kind: ca.FaultDrop, From: ca.AnyParty, To: ca.AnyParty, Prob: 1}}}, ok: true},
+		{name: "negative prob", cfg: ca.FaultConfig{Rules: []ca.FaultRule{
+			{Kind: ca.FaultDrop, From: ca.AnyParty, To: ca.AnyParty, Prob: -0.1}}}},
+		{name: "prob above 1", cfg: ca.FaultConfig{Rules: []ca.FaultRule{
+			{Kind: ca.FaultDrop, From: ca.AnyParty, To: ca.AnyParty, Prob: 1.5}}}},
+		{name: "party below AnyParty", cfg: ca.FaultConfig{Rules: []ca.FaultRule{
+			{Kind: ca.FaultDrop, From: -2, To: 0, Prob: 1}}}},
+		{name: "negative FromRound", cfg: ca.FaultConfig{Rules: []ca.FaultRule{
+			{Kind: ca.FaultDrop, From: ca.AnyParty, To: ca.AnyParty, FromRound: -1, Prob: 1}}}},
+		{name: "unbounded window", cfg: ca.FaultConfig{Rules: []ca.FaultRule{
+			{Kind: ca.FaultDrop, From: ca.AnyParty, To: ca.AnyParty, FromRound: 5, ToRound: 0, Prob: 1}}}, ok: true},
+		{name: "empty rule window", cfg: ca.FaultConfig{Rules: []ca.FaultRule{
+			{Kind: ca.FaultDrop, From: ca.AnyParty, To: ca.AnyParty, FromRound: 5, ToRound: 5, Prob: 1}}}},
+		{name: "negative delay", cfg: ca.FaultConfig{Rules: []ca.FaultRule{
+			{Kind: ca.FaultDelay, From: ca.AnyParty, To: ca.AnyParty, Prob: 1, DelayRounds: -1}}}},
+		{name: "unknown kind", cfg: ca.FaultConfig{Rules: []ca.FaultRule{
+			{Kind: ca.FaultCorrupt + 1, From: ca.AnyParty, To: ca.AnyParty, Prob: 1}}}},
+		{name: "empty partition window", cfg: ca.FaultConfig{Partitions: []ca.FaultPartition{
+			{FromRound: 3, ToRound: 2, GroupA: []int{0}}}}},
+		{name: "negative partition round", cfg: ca.FaultConfig{Partitions: []ca.FaultPartition{
+			{FromRound: -2, ToRound: 2, GroupA: []int{0}}}}},
+		{name: "valid partition", cfg: ca.FaultConfig{Partitions: []ca.FaultPartition{
+			{FromRound: 1, ToRound: 4, GroupA: []int{0, 1}}}}, ok: true},
+		{name: "negative crash party", cfg: ca.FaultConfig{Crashes: []ca.FaultCrash{
+			{Party: -1, FromRound: 0, ToRound: 2}}}},
+		{name: "empty crash window", cfg: ca.FaultConfig{Crashes: []ca.FaultCrash{
+			{Party: 0, FromRound: 4, ToRound: 1}}}},
+		{name: "negative kill round", cfg: ca.FaultConfig{Kills: []ca.FaultKill{
+			{Party: 0, Round: -1}}}},
+		{name: "valid kill", cfg: ca.FaultConfig{Kills: []ca.FaultKill{
+			{Party: 0, Round: 10}}}, ok: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := ca.WrapFaulty(locals[0], tc.cfg)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if tr == nil {
+					t.Fatal("nil transport on success")
+				}
+				return
+			}
+			if !errors.Is(err, ca.ErrOptions) {
+				t.Fatalf("err = %v, want ErrOptions", err)
+			}
+		})
 	}
 }
