@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json fuzz ci experiments examples cover clean
+.PHONY: all build vet lint test race bench bench-json fuzz ci experiments examples cover clean
 
 # Benchmarks that feed the perf-trajectory record (see bench-json).
 BENCH_PKGS = ./internal/gf16/ ./internal/rs/ ./internal/sim/ ./internal/merkle/ ./internal/baplus/
@@ -14,6 +14,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/calint -json ./... > /dev/null
+
+# Protocol-invariant static analysis (see DESIGN.md §2.7 and cmd/calint).
+lint:
+	$(GO) run ./cmd/calint ./...
 
 test:
 	$(GO) test ./...
@@ -36,11 +41,13 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -before BENCH_PR2.json > BENCH_PR3.json
 
 # Short fuzzing smoke over the panic-free decode surfaces: the stream frame
-# codec and the Π_ℓBA+ tuple decoder. Raise FUZZTIME for a real campaign.
+# codec, the Π_ℓBA+ tuple decoder, and the checkpoint WAL replay. Raise
+# FUZZTIME for a real campaign.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/baplus/
+	$(GO) test -run '^$$' -fuzz FuzzInspectState -fuzztime $(FUZZTIME) ./internal/checkpoint/
 
 # Minimal CI entry point (vet + build + tests + race on the perf-critical
 # packages); scripts/ci.sh is the same thing for environments without make.

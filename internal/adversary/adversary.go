@@ -14,6 +14,7 @@ package adversary
 
 import (
 	"math/rand"
+	"sort"
 
 	"convexagreement/internal/sim"
 )
@@ -130,8 +131,8 @@ func Mirror(chooseLast bool) sim.Behavior {
 				}
 			}
 			out := make([]sim.Packet, 0, len(byTo))
-			for to, payload := range byTo {
-				out = append(out, sim.Packet{To: to, Tag: tag, Payload: payload})
+			for _, to := range sortedRecipients(byTo) {
+				out = append(out, sim.Packet{To: to, Tag: tag, Payload: byTo[to]})
 			}
 			if _, err := env.Exchange(out); err != nil {
 				return err
@@ -231,14 +232,29 @@ func LateJoin(rounds int) sim.Behavior {
 				}
 			}
 			out := make([]sim.Packet, 0, len(byTo))
-			for to, payload := range byTo {
-				out = append(out, sim.Packet{To: to, Tag: tag, Payload: payload})
+			for _, to := range sortedRecipients(byTo) {
+				out = append(out, sim.Packet{To: to, Tag: tag, Payload: byTo[to]})
 			}
 			if _, err := env.Exchange(out); err != nil {
 				return err
 			}
 		}
 	}
+}
+
+// sortedRecipients returns byTo's keys in ascending order. Packet
+// submission order must not depend on map iteration: under a
+// fault-injection transport the per-packet seeded drop/corrupt decisions
+// and the transcript digest consume packets in stream order, so a
+// map-ordered fan-out would make identically-seeded runs diverge
+// (calint's maporder check gates on exactly this shape).
+func sortedRecipients(byTo map[sim.PartyID][]byte) []sim.PartyID {
+	tos := make([]sim.PartyID, 0, len(byTo))
+	for to := range byTo {
+		tos = append(tos, to)
+	}
+	sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
+	return tos
 }
 
 // Strategy names a reusable adversary constructor for parameter sweeps.

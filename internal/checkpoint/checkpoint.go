@@ -134,29 +134,33 @@ func Open(dir string) (*Log, *State, error) {
 	}
 	st, goodOff, err := replay(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the replay error is the story
 		return nil, nil, err
 	}
 	// Discard the torn tail, if any, and position for append.
 	if err := f.Truncate(goodOff); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the truncate error is the story
 		return nil, nil, fmt.Errorf("checkpoint: truncate torn tail: %w", err)
 	}
 	if _, err := f.Seek(goodOff, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the seek error is the story
 		return nil, nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	return &Log{f: f}, st, nil
 }
 
 // Inspect replays the WAL in dir without keeping it open. A missing or
-// empty WAL yields a zero State, not an error.
+// empty WAL yields a zero State, not an error. A Close failure is a real
+// error here: Open truncates the torn tail in place, and if that write-back
+// cannot be completed the reported state may not match the file.
 func Inspect(dir string) (*State, error) {
 	log, st, err := Open(dir)
 	if err != nil {
 		return nil, err
 	}
-	log.Close()
+	if err := log.Close(); err != nil {
+		return nil, fmt.Errorf("checkpoint: inspect close: %w", err)
+	}
 	return st, nil
 }
 

@@ -1,0 +1,81 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math/big"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"convexagreement/internal/transport"
+)
+
+// validWAL builds a well-formed log (meta, one finished instance, one
+// partial instance with a recorded round) and returns its raw bytes, so
+// the fuzzer starts from realistic record framing rather than pure noise.
+func validWAL(t testing.TB) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	log, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.AppendMeta(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.AppendInstance(&Instance{Input: big.NewInt(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.AppendRound([]transport.Message{{From: 2, Payload: []byte("abc")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.AppendEnd(big.NewInt(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.AppendInstance(&Instance{Input: big.NewInt(5)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.AppendRound([]transport.Message{{From: 0, Payload: []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzInspectState feeds arbitrary bytes to the WAL replay path. Whatever
+// the bytes, Inspect must return cleanly — never panic — and because Open
+// truncates any torn tail in place, a second Inspect of the same directory
+// must agree with the first.
+func FuzzInspectState(f *testing.F) {
+	raw := validWAL(f)
+	f.Add(raw)
+	f.Add(raw[:len(raw)-3]) // torn tail
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0x00}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "wal"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st1, err1 := Inspect(dir)
+		st2, err2 := Inspect(dir)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("inspect not idempotent: first err=%v, second err=%v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if !reflect.DeepEqual(st1, st2) {
+			t.Fatalf("inspect not idempotent:\nfirst  %+v\nsecond %+v", st1, st2)
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detrand: references to the process-global math/rand generator in
+// protocol code. The replay discipline (faultnet seeds, checkpoint
+// resume, dual-run transcript digests) requires every random draw to
+// come from an explicitly seeded *rand.Rand threaded through the call —
+// the top-level rand.Intn/Shuffle/... helpers share one global source
+// whose state depends on everything else in the process, so two
+// identically-seeded runs diverge. Constructors (rand.New,
+// rand.NewSource, ...) are fine: they are how the discipline is
+// implemented.
+var detrandAnalyzer = &Analyzer{
+	Name: "detrand",
+	Doc:  "global math/rand use bypasses the seeded *rand.Rand replay discipline",
+	Run:  runDetrand,
+}
+
+// detrandAllowed are the math/rand package-level functions that do not
+// touch the global source.
+var detrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runDetrand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			path := funcPkgPath(fn)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // *rand.Rand methods are the sanctioned path
+			}
+			if detrandAllowed[fn.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "%s.%s draws from the process-global RNG; seed a *rand.Rand and thread it through so replays stay byte-exact", path, fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//calint:ignore <check>[,<check>] <reason>
+//
+// placed either on the offending line (trailing comment) or on the line
+// directly above it. The reason is mandatory: a suppression without a
+// recorded justification is itself a finding, so the gate cannot be
+// quieted silently.
+const ignorePrefix = "calint:ignore"
+
+// ignoreDirective is one parsed //calint:ignore comment.
+type ignoreDirective struct {
+	checks map[string]bool
+	reason string
+	pos    token.Pos
+}
+
+// directives indexes a package's ignore comments by file and line.
+type directives struct {
+	fset    *token.FileSet
+	byLine  map[string]map[int][]ignoreDirective
+	badPos  []token.Pos // directives with no reason
+	unknown []token.Pos // directives naming no valid check
+}
+
+// collectDirectives scans every comment in the package's files.
+func collectDirectives(fset *token.FileSet, files []*ast.File) directives {
+	d := directives{fset: fset, byLine: map[string]map[int][]ignoreDirective{}}
+	valid := map[string]bool{}
+	for _, a := range Analyzers() {
+		valid[a.Name] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.Fields(rest)
+				dir := ignoreDirective{checks: map[string]bool{}, pos: c.Pos()}
+				if len(fields) > 0 {
+					for _, name := range strings.Split(fields[0], ",") {
+						if valid[name] {
+							dir.checks[name] = true
+						}
+					}
+					dir.reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+				}
+				switch {
+				case len(dir.checks) == 0:
+					d.unknown = append(d.unknown, c.Pos())
+				case dir.reason == "":
+					d.badPos = append(d.badPos, c.Pos())
+				default:
+					pos := fset.Position(c.Pos())
+					if d.byLine[pos.Filename] == nil {
+						d.byLine[pos.Filename] = map[int][]ignoreDirective{}
+					}
+					d.byLine[pos.Filename][pos.Line] = append(d.byLine[pos.Filename][pos.Line], dir)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// suppresses reports whether a directive on the finding's line or the
+// line above names the finding's check.
+func (d directives) suppresses(f Finding) bool {
+	lines := d.byLine[f.File]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Line, f.Line - 1} {
+		for _, dir := range lines[line] {
+			if dir.checks[f.Check] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// malformed reports directives that cannot take effect — a missing reason
+// or an unknown check name — as findings in their own right.
+func (d directives) malformed() []Finding {
+	var out []Finding
+	mk := func(pos token.Pos, msg string) Finding {
+		p := d.fset.Position(pos)
+		return Finding{File: p.Filename, Line: p.Line, Col: p.Column, Check: "directive", Message: msg}
+	}
+	for _, pos := range d.badPos {
+		out = append(out, mk(pos, "//calint:ignore needs a reason: //calint:ignore <check> <why>"))
+	}
+	for _, pos := range d.unknown {
+		out = append(out, mk(pos, "//calint:ignore names no known check (detrand, wallclock, maporder, errdrop, mutexhold)"))
+	}
+	return out
+}

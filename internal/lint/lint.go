@@ -1,0 +1,276 @@
+// Package lint implements calint, the repository's protocol-invariant
+// static analyzer suite (cmd/calint is the CLI; `make lint` and the
+// `== calint` stage of scripts/ci.sh are the gates).
+//
+// The paper's guarantees are only reproducible because every run in this
+// repository is deterministic: faultnet replays fault schedules from a
+// seed, a checkpointed Session replays its write-ahead log byte-exactly,
+// and FNV transcript digests must match across identically-seeded dual
+// runs. Those properties rest on coding invariants that the compiler does
+// not enforce — no process-global randomness in protocol code, no wall
+// clock inside round-driven packages, no map-iteration order leaking into
+// hashed or transmitted bytes, no silently dropped durability errors, and
+// no blocking calls under a held mutex. Each analyzer here encodes one of
+// those invariants over the go/ast + go/types view of a package:
+//
+//	detrand    global math/rand calls that bypass seeded *rand.Rand replay
+//	wallclock  time.Now/Since/... inside round-driven packages
+//	maporder   map iteration order flowing into hashes, wire bytes, or sends
+//	errdrop    discarded errors on checkpoint/transport/WAL durability calls
+//	mutexhold  blocking calls (Exchange, network I/O, sleeps) under a mutex
+//
+// Findings are suppressed with an in-source directive on the offending
+// line or the line directly above it:
+//
+//	//calint:ignore <check>[,<check>] <reason>
+//
+// The reason is mandatory; a bare directive is itself reported. The suite
+// is intentionally stdlib-only (go/ast, go/parser, go/types, go/build):
+// it must run in the same hermetic environment as the tests it guards.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic, positioned in module-root-relative terms so
+// output is stable across checkouts.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"msg"`
+}
+
+// String renders the conventional file:line:col: check: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Check, f.Message)
+}
+
+// Analyzer is one named invariant check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is the per-package view handed to an Analyzer: the syntax trees,
+// the type information, and a sink for diagnostics.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// RelPkg is the module-root-relative package directory ("" for the
+	// module root, "internal/sim", ...).
+	RelPkg string
+
+	check  string
+	report func(Finding)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Finding{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{detrandAnalyzer, wallclockAnalyzer, maporderAnalyzer, errdropAnalyzer, mutexholdAnalyzer}
+}
+
+// AnalyzerByName resolves one analyzer, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run loads every package matched by patterns (go-style, rooted at the
+// module: "./...", "./internal/...", "./internal/sim"), runs the given
+// analyzers (nil means all) over each in-scope package, applies the
+// //calint:ignore directives, and returns the surviving findings sorted
+// by position. Test files are never analyzed: the invariants guard
+// protocol code; tests measure time and randomize freely.
+func Run(root string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	ld, err := newLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := ld.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, rel := range dirs {
+		pass, err := ld.loadRel(rel)
+		if err != nil {
+			return nil, fmt.Errorf("calint: %s: %w", relOrDot(rel), err)
+		}
+		dirs := collectDirectives(pass.Fset, pass.Files)
+		findings = append(findings, dirs.malformed()...)
+		for _, a := range analyzers {
+			if !appliesTo(a.Name, rel) {
+				continue
+			}
+			findings = append(findings, runOne(pass, a, dirs)...)
+		}
+	}
+	for i := range findings {
+		findings[i].File = relativize(ld.root, findings[i].File)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		if findings[i].Line != findings[j].Line {
+			return findings[i].Line < findings[j].Line
+		}
+		return findings[i].Check < findings[j].Check
+	})
+	return findings, nil
+}
+
+// relativize rewrites an absolute file path to module-root-relative form
+// so findings are stable across checkouts.
+func relativize(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// runOne executes a single analyzer over a loaded pass and filters its
+// findings through the ignore directives.
+func runOne(pass *Pass, a *Analyzer, dirs directives) []Finding {
+	var out []Finding
+	p := *pass
+	p.check = a.Name
+	p.report = func(f Finding) {
+		if dirs.suppresses(f) {
+			return
+		}
+		out = append(out, f)
+	}
+	a.Run(&p)
+	return out
+}
+
+func relOrDot(rel string) string {
+	if rel == "" {
+		return "."
+	}
+	return rel
+}
+
+// ---- shared go/types helpers used by the analyzers ----
+
+// calleeFunc resolves the function or method called by call, nil when the
+// callee is not a named function (conversions, func-typed variables, ...).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package that declares fn
+// ("" for builtins/error.Error).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// recvTypeName returns the named receiver type of a method as
+// (pkgpath, typename), or ("", "") for package-level functions and
+// methods on unnamed types.
+func recvTypeName(fn *types.Func) (pkgPath, typeName string) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// returnsError reports whether fn's final result is the builtin error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// rootIdent walks x down to its base identifier: out → out, s.buf → s,
+// m[k] → m, (*p).f → p. Returns nil when there is no base identifier.
+func rootIdent(x ast.Expr) *ast.Ident {
+	for {
+		switch e := x.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.IndexExpr:
+			x = e.X
+		case *ast.StarExpr:
+			x = e.X
+		case *ast.ParenExpr:
+			x = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves an identifier to its object (use or def).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// isModulePkg reports whether path names a package of this module.
+func isModulePkg(path string) bool {
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+}

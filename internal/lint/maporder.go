@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// maporder: map iteration order escaping into bytes that must replay
+// exactly. Go randomizes range-over-map order per execution, so any path
+// from a map range to a hash (transcript digests, Merkle roots), to wire
+// encoding, or to a transport Send/Exchange/Broadcast makes two
+// identically-seeded runs produce different transcripts — the exact
+// property the faultnet/checkpoint dual-run digests gate on. The
+// analyzer flags a range over a map when either
+//
+//   - the loop body itself reaches a sink call, or
+//   - the loop body builds up a variable (append/assign) that is later
+//     passed to a sink call in the same function, without an intervening
+//     sort.* / slices.* call on that variable (sorting launders the
+//     nondeterminism away — that is the idiomatic fix).
+//
+// Order-insensitive folds (summing counters, max/min scans) are not
+// flagged: they neither call sinks nor feed one.
+var maporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order flowing into hashed, encoded, or transmitted bytes",
+	Run:  runMaporder,
+}
+
+func runMaporder(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			maporderFunc(p, fd.Body)
+		}
+	}
+}
+
+func maporderFunc(p *Pass, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if rng, ok := n.(*ast.RangeStmt); ok && isMapType(p.Info.TypeOf(rng.X)) {
+			ranges = append(ranges, rng)
+		}
+		return true
+	})
+	if len(ranges) == 0 {
+		return
+	}
+	// All calls in the function in source order, for the flows-to-sink
+	// scan after each range loop.
+	var calls []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, c)
+		}
+		return true
+	})
+	sort.Slice(calls, func(i, j int) bool { return calls[i].Pos() < calls[j].Pos() })
+
+	for _, rng := range ranges {
+		mapExpr := types.ExprString(rng.X)
+		// Case 1: the loop body reaches a sink directly.
+		direct := ""
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			if direct != "" {
+				return false
+			}
+			if c, ok := n.(*ast.CallExpr); ok {
+				if desc := sinkDesc(p, c); desc != "" {
+					direct = desc
+				}
+			}
+			return true
+		})
+		if direct != "" {
+			p.Reportf(rng.For, "iterating %s in map order reaches %s; iterate over sorted keys so the bytes replay exactly", mapExpr, direct)
+			continue
+		}
+		// Case 2: the loop accumulates into variables; track them to any
+		// later sink, treating a sort of the variable as the fix.
+		tainted := taintedObjects(p, rng)
+		if len(tainted) == 0 {
+			continue
+		}
+		for _, call := range calls {
+			if call.Pos() <= rng.End() {
+				continue
+			}
+			refs := referencedTainted(p, call, tainted)
+			if len(refs) == 0 {
+				continue
+			}
+			if fn := calleeFunc(p.Info, call); fn != nil {
+				if path := funcPkgPath(fn); path == "sort" || path == "slices" {
+					for _, o := range refs {
+						delete(tainted, o)
+					}
+					continue
+				}
+			}
+			if desc := sinkDesc(p, call); desc != "" {
+				p.Reportf(rng.For, "%s is built by iterating %s in map order and then passed to %s; iterate over sorted keys so the bytes replay exactly",
+					refs[0].Name(), mapExpr, desc)
+				break
+			}
+		}
+	}
+}
+
+// isMapType reports whether t's core type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// taintedObjects collects the objects assigned or appended to inside the
+// range body (out = append(out, ...), buf[k] = v, s.field = v → s).
+func taintedObjects(p *Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			id := rootIdent(lhs)
+			if id == nil || id.Name == "_" {
+				continue
+			}
+			if obj := objOf(p.Info, id); obj != nil {
+				tainted[obj] = true
+			}
+		}
+		return true
+	})
+	// The loop variables themselves are not interesting taints.
+	for _, v := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := v.(*ast.Ident); ok && id != nil {
+			delete(tainted, objOf(p.Info, id))
+		}
+	}
+	return tainted
+}
+
+// referencedTainted returns the tainted objects referenced anywhere in
+// the call expression (receiver chain included).
+func referencedTainted(p *Pass, call *ast.CallExpr, tainted map[types.Object]bool) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	ast.Inspect(call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := objOf(p.Info, id); obj != nil && tainted[obj] && !seen[obj] {
+				seen[obj] = true
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sinkDesc classifies a call as order-sensitive: hashing, wire encoding,
+// WAL appends, or transport sends. Empty string means not a sink.
+func sinkDesc(p *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return ""
+	}
+	path, name := funcPkgPath(fn), fn.Name()
+	// Methods promoted from embedded interfaces carry the embedding
+	// package (hash.Hash.Write is declared by io.Writer); classify by the
+	// receiver expression's named type instead when it has one.
+	if rp := recvExprPkg(p, call); rp != "" {
+		path = rp
+	}
+	switch path {
+	case modulePath + "/internal/hashing", "crypto/sha256", "hash/fnv", "hash":
+		return "hashing (" + shortPkg(path) + "." + name + ")"
+	case modulePath + "/internal/merkle":
+		return "Merkle construction (merkle." + name + ")"
+	case modulePath + "/internal/wire":
+		// Only the encoding half is order-sensitive; decoding a payload
+		// with wire.NewReader inside a map loop is fine.
+		if _, rt := recvTypeName(fn); rt == "Writer" || name == "NewWriter" || name == "WriteFrame" {
+			return "wire encoding (wire." + name + ")"
+		}
+	case modulePath + "/internal/checkpoint":
+		if strings.HasPrefix(name, "Append") {
+			return "the write-ahead log (checkpoint." + name + ")"
+		}
+	case "sync": // sync.Cond.Broadcast et al. are not network sends
+		return ""
+	}
+	switch name {
+	case "Exchange", "ExchangeBroadcast", "ExchangeAll", "Broadcast", "Send":
+		return "a transport send (" + name + ")"
+	}
+	return ""
+}
+
+// recvExprPkg returns the package of the named type of the receiver
+// expression in a method call ("" for package-level calls and unnamed
+// receivers).
+func recvExprPkg(p *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if s, ok := p.Info.Selections[sel]; !ok || s == nil {
+		return "" // package-qualified call, not a method
+	}
+	t := p.Info.TypeOf(sel.X)
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}
+
+// shortPkg returns the last path element of an import path.
+func shortPkg(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

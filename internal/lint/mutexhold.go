@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// mutexhold: blocking calls made while a sync.Mutex/RWMutex is held —
+// the deadlock shape the real-network layers (tcpnet's link state
+// machine, the supervisor's watchdog) are most exposed to: goroutine A
+// blocks on I/O under mu while goroutine B needs mu to make the progress
+// A is waiting for. The walker tracks Lock/RLock statements through
+// straight-line flow (branch bodies are analyzed with a copy of the held
+// set; deferred Unlocks keep the mutex held to the end of the function,
+// which is exactly the window being checked) and flags transport
+// exchanges, network/file I/O, sleeps, and WaitGroup waits inside the
+// window. sync.Cond.Wait is exempt: holding the lock is its contract.
+//
+// The analysis is intentionally flow-approximate; a hold that is safe by
+// construction (e.g. a lock protecting the I/O object itself through
+// shutdown) is documented at the call site with //calint:ignore.
+var mutexholdAnalyzer = &Analyzer{
+	Name: "mutexhold",
+	Doc:  "blocking call (Exchange, network I/O, sleep) while a mutex is held",
+	Run:  runMutexhold,
+}
+
+func runMutexhold(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					walkMutexStmts(p, fn.Body.List, muState{})
+				}
+			case *ast.FuncLit:
+				walkMutexStmts(p, fn.Body.List, muState{})
+			}
+			return true
+		})
+	}
+}
+
+// muState maps the printed receiver expression of a Lock call ("c.mu")
+// to the position that acquired it.
+type muState map[string]token.Pos
+
+func (m muState) clone() muState {
+	c := make(muState, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// walkMutexStmts interprets a statement list, threading the held-mutex
+// set through sequential flow and forking it into branches.
+func walkMutexStmts(p *Pass, stmts []ast.Stmt, held muState) {
+	for _, stmt := range stmts {
+		walkMutexStmt(p, stmt, held)
+	}
+}
+
+func walkMutexStmt(p *Pass, stmt ast.Stmt, held muState) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, op := lockOp(p, call); op != "" {
+				if op == "lock" {
+					held[key] = call.Pos()
+				} else {
+					delete(held, key)
+				}
+				return
+			}
+		}
+		checkBlocking(p, s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			checkBlocking(p, e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			checkBlocking(p, e, held)
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the mutex held through the rest of the
+		// function — which is precisely the window under analysis — so the
+		// held set is deliberately unchanged. Blocking inside other
+		// deferred calls runs at return time, still under the lock:
+		if _, op := lockOp(p, s.Call); op == "" {
+			checkBlocking(p, s.Call, held)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold this goroutine's locks; its
+		// body is analyzed separately with a fresh state.
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						checkBlocking(p, e, held)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		walkMutexStmt(p, s.Stmt, held)
+	case *ast.BlockStmt:
+		walkMutexStmts(p, s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkMutexStmt(p, s.Init, held)
+		}
+		checkBlocking(p, s.Cond, held)
+		walkMutexStmts(p, s.Body.List, held.clone())
+		if s.Else != nil {
+			walkMutexStmt(p, s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			walkMutexStmt(p, s.Init, held)
+		}
+		if s.Cond != nil {
+			checkBlocking(p, s.Cond, held)
+		}
+		walkMutexStmts(p, s.Body.List, held.clone())
+	case *ast.RangeStmt:
+		checkBlocking(p, s.X, held)
+		walkMutexStmts(p, s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			walkMutexStmt(p, s.Init, held)
+		}
+		if s.Tag != nil {
+			checkBlocking(p, s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkMutexStmts(p, cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkMutexStmts(p, cc.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				walkMutexStmts(p, cc.Body, held.clone())
+			}
+		}
+	}
+}
+
+// checkBlocking reports blocking calls anywhere in expr (function
+// literals excluded: they execute elsewhere) while held is non-empty.
+func checkBlocking(p *Pass, expr ast.Expr, held muState) {
+	if len(held) == 0 || expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		desc := blockingDesc(p, call)
+		if desc == "" {
+			return true
+		}
+		keys := make([]string, 0, len(held))
+		for k := range held {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		p.Reportf(call.Pos(), "%s blocks while %s is held (locked at line %d); release the lock before blocking or hand the work to another goroutine",
+			desc, keys[0], p.Fset.Position(held[keys[0]]).Line)
+		return true
+	})
+}
+
+// lockOp classifies a call as a mutex acquire/release and returns the
+// receiver expression as the tracking key.
+func lockOp(p *Pass, call *ast.CallExpr) (key, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return "", ""
+	}
+	rp, rt := recvTypeName(fn)
+	if rp != "sync" || (rt != "Mutex" && rt != "RWMutex" && rt != "Locker") {
+		return "", ""
+	}
+	key = exprKey(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return key, "lock"
+	case "Unlock", "RUnlock":
+		return key, "unlock"
+	}
+	return "", ""
+}
+
+// exprKey renders a receiver expression as a stable tracking key.
+func exprKey(x ast.Expr) string {
+	switch e := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[...]"
+	default:
+		return "mutex"
+	}
+}
+
+// blockingDesc classifies a call as blocking for the purposes of this
+// check. Names are matched with types where it is cheap (stdlib package
+// paths) and by convention for the repository's own transports.
+func blockingDesc(p *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return ""
+	}
+	path, name := funcPkgPath(fn), fn.Name()
+	switch path {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "net":
+		switch name {
+		case "Dial", "DialTimeout", "Listen", "Accept", "Read", "Write", "ReadFrom", "WriteTo":
+			return "net I/O (" + name + ")"
+		}
+	case "io":
+		switch name {
+		case "ReadFull", "ReadAll", "Copy", "CopyN":
+			return "io." + name
+		}
+	case "bufio":
+		switch name {
+		case "Read", "ReadByte", "ReadBytes", "ReadString", "Peek", "Write", "WriteByte", "Flush":
+			return "bufio I/O (" + name + ")"
+		}
+	case "sync":
+		if _, rt := recvTypeName(fn); rt == "WaitGroup" && name == "Wait" {
+			return "sync.WaitGroup.Wait"
+		}
+	case modulePath + "/internal/wire":
+		if name == "ReadFrame" || name == "WriteFrame" {
+			return "wire." + name + " (socket I/O)"
+		}
+	}
+	switch name {
+	case "Exchange", "ExchangeBroadcast", "ExchangeAll", "ExchangeNone":
+		if path == modulePath+"/internal/transport" || returnsError(fn) {
+			return "transport " + name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,41 @@
+// Fixture for the detrand analyzer: references to the process-global
+// math/rand generator are flagged; seeded *rand.Rand use and the
+// constructors that build one are not.
+package detrand
+
+import "math/rand"
+
+func badCall(n int) int {
+	return rand.Intn(n) // want `math/rand\.Intn draws from the process-global RNG`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle`
+}
+
+func badValueReference() func() int64 {
+	return rand.Int63 // want `math/rand\.Int63`
+}
+
+func badRead(buf []byte) {
+	rand.Read(buf) // want `math/rand\.Read`
+}
+
+func goodSeeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+func goodZipf(seed int64) uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rand.NewZipf(rng, 1.1, 1, 100).Uint64()
+}
+
+func suppressed(n int) int {
+	//calint:ignore detrand demo-only jitter, never replayed
+	return rand.Intn(n)
+}
+
+func suppressedTrailing(n int) int {
+	return rand.Intn(n) //calint:ignore detrand demo-only jitter, never replayed
+}

@@ -1,0 +1,83 @@
+// Fixture for the maporder analyzer: map iteration order reaching a
+// hash or a transport send is flagged, directly or through a variable
+// built inside the loop; sorted-key iteration and order-insensitive
+// folds are not.
+package maporder
+
+import (
+	"crypto/sha256"
+	"sort"
+)
+
+type packet struct {
+	to      int
+	payload []byte
+}
+
+type message struct {
+	from    int
+	payload []byte
+}
+
+type fakeNet struct{}
+
+func (fakeNet) Exchange(out []packet) ([]message, error) { return nil, nil }
+
+func directSend(n fakeNet, m map[int][]byte) {
+	for to, p := range m { // want `iterating m in map order reaches a transport send \(Exchange\)`
+		n.Exchange([]packet{{to, p}})
+	}
+}
+
+func directHash(m map[string][]byte) []byte {
+	h := sha256.New()
+	for _, v := range m { // want `iterating m in map order reaches hashing \(hash\.Write\)`
+		h.Write(v)
+	}
+	return h.Sum(nil)
+}
+
+func flowsToSend(n fakeNet, m map[int][]byte) {
+	var out []packet
+	for to, p := range m { // want `out is built by iterating m in map order and then passed to a transport send \(Exchange\)`
+		out = append(out, packet{to, p})
+	}
+	n.Exchange(out)
+}
+
+func sortedKeysAreFine(n fakeNet, m map[int][]byte) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]packet, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, packet{k, m[k]})
+	}
+	n.Exchange(out)
+}
+
+func sortedSliceIsFine(n fakeNet, m map[int][]byte) {
+	var out []packet
+	for to, p := range m {
+		out = append(out, packet{to, p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].to < out[j].to })
+	n.Exchange(out)
+}
+
+func foldIsFine(m map[int][]byte) int {
+	total := 0
+	for _, p := range m {
+		total += len(p)
+	}
+	return total
+}
+
+func suppressed(n fakeNet, m map[int][]byte) {
+	//calint:ignore maporder byzantine strategy that deliberately randomizes order
+	for to, p := range m {
+		n.Exchange([]packet{{to, p}})
+	}
+}

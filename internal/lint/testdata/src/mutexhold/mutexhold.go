@@ -1,0 +1,95 @@
+// Fixture for the mutexhold analyzer: blocking calls (sleeps, network
+// I/O, transport exchanges, WaitGroup waits) under a held Mutex/RWMutex
+// are flagged; unlock-before-block, goroutine handoff, and Cond.Wait's
+// hold-by-contract are not.
+package mutexhold
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (s *server) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *server) badUnderDefer(buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conn.Read(buf) // want `net I/O \(Read\) blocks while s\.mu is held`
+}
+
+func (s *server) badDial() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := net.Dial("tcp", "localhost:0") // want `net I/O \(Dial\) blocks while s\.mu is held`
+	if err == nil {
+		s.conn = c
+	}
+}
+
+func (s *server) badWaitGroup(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait blocks while s\.mu is held`
+}
+
+type exchanger struct{}
+
+func (exchanger) Exchange(out [][]byte) ([][]byte, error) { return nil, nil }
+
+type rwGuard struct {
+	mu sync.RWMutex
+	ex exchanger
+}
+
+func (g *rwGuard) badExchangeUnderRLock() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.ex.Exchange(nil) // want `transport Exchange blocks while g\.mu is held`
+}
+
+func (s *server) goodUnlockFirst() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+func (s *server) goodBranchRelease(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+func (s *server) goodGoroutineHandoff() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond) // runs outside the lock's goroutine
+	}()
+}
+
+func goodCondWait(mu *sync.Mutex, c *sync.Cond) {
+	mu.Lock()
+	c.Wait() // Cond.Wait holding the lock is its contract
+	mu.Unlock()
+}
+
+func (s *server) suppressed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//calint:ignore mutexhold every other user of this mutex is parked in cond.Wait
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,40 @@
+// Fixture for the wallclock analyzer: observing or scheduling against
+// real time is flagged; duration arithmetic and decoding recorded
+// timestamps are not.
+package wallclock
+
+import "time"
+
+func badNow() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func badAfter() <-chan time.Time {
+	return time.After(time.Second) // want `time\.After reads the wall clock`
+}
+
+func badTicker() {
+	tk := time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+	tk.Stop()
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+func goodDurationMath(delta time.Duration) time.Duration {
+	return 3*delta + time.Millisecond
+}
+
+func goodDecode(sec int64) time.Time {
+	return time.Unix(sec, 0) // decoding recorded data, not observing the clock
+}
+
+func suppressed() time.Time {
+	//calint:ignore wallclock startup banner only, never enters protocol state
+	return time.Now()
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclock: wall-clock reads inside round-driven packages. The
+// simulator, the protocols, and the experiment harness live entirely in
+// logical time — the round counter is the clock the paper's Δ-synchrony
+// abstracts away — so time.Now/Since/After in those packages either
+// leaks nondeterminism into replayed state or silently couples a
+// protocol decision to scheduler latency. Real-time packages (tcpnet,
+// supervisor, faultnet) and drivers are exempted by config, not by the
+// analyzer.
+var wallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "wall-clock reads inside round-driven packages (logical rounds are the only clock)",
+	Run:  runWallclock,
+}
+
+// wallclockBanned are the package time functions that observe or schedule
+// against real time. Conversions and constructors over durations
+// (time.Duration arithmetic, time.Unix for decoding recorded data) are
+// deliberately absent.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+	"Sleep":     true,
+}
+
+func runWallclock(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if funcPkgPath(fn) != "time" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			if !wallclockBanned[fn.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "time.%s reads the wall clock in a round-driven package; the logical round counter is the only clock here", fn.Name())
+			return true
+		})
+	}
+}

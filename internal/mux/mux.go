@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"convexagreement/internal/transport"
@@ -143,9 +144,18 @@ func (m *Mux) maybeFlush() {
 	if m.err != nil || m.live == 0 || m.submitted < m.live {
 		return
 	}
+	// Merge in ascending instance order, not map order: the physical
+	// packet stream feeds fault-injection transports whose per-packet
+	// seeded decisions and transcript digest depend on stream order, so a
+	// map-ordered merge would break seed-exact replay.
+	insts := make([]int, 0, len(m.pending))
+	for inst := range m.pending {
+		insts = append(insts, inst)
+	}
+	sort.Ints(insts)
 	merged := make([]transport.Packet, 0, len(m.pending)*m.base.N())
-	for inst, pkts := range m.pending {
-		for _, p := range pkts {
+	for _, inst := range insts {
+		for _, p := range m.pending[inst] {
 			merged = append(merged, transport.Packet{
 				To:      p.To,
 				Tag:     p.Tag,

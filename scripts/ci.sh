@@ -20,14 +20,18 @@ go vet ./...
 echo "== go build"
 go build ./...
 
+echo "== calint"
+go run ./cmd/calint ./...
+
 echo "== go test"
 go test ./...
 
-echo "== go test -race (root, sim, rs, tcpnet, channet, faultnet, mux, asyncnet)"
-go test -race -short . ./internal/sim/... ./internal/rs/... ./internal/tcpnet/... ./internal/channet/... ./internal/faultnet/... ./internal/mux/... ./internal/asyncnet/...
+echo "== go test -race (root, sim, rs, tcpnet, channet, faultnet, mux, asyncnet, checkpoint, supervisor)"
+go test -race -short . ./internal/sim/... ./internal/rs/... ./internal/tcpnet/... ./internal/channet/... ./internal/faultnet/... ./internal/mux/... ./internal/asyncnet/... ./internal/checkpoint/... ./internal/supervisor/...
 
-echo "== go test -fuzz smoke (wire frames, baplus tuples)"
+echo "== go test -fuzz smoke (wire frames, baplus tuples, checkpoint WAL)"
 go test -run '^$' -fuzz FuzzReadFrame -fuzztime 5s ./internal/wire/
 go test -run '^$' -fuzz FuzzDecode -fuzztime 5s ./internal/baplus/
+go test -run '^$' -fuzz FuzzInspectState -fuzztime 5s ./internal/checkpoint/
 
 echo "CI OK"

@@ -91,11 +91,11 @@ func (s *Session) Checkpoint(dir string) error {
 		return err
 	}
 	if st.HasMeta || st.Seq > 0 || st.Partial != nil {
-		log.Close()
+		_ = log.Close() // rejecting the dir; nothing was written
 		return fmt.Errorf("%w: %s already holds session state; use Resume", ErrOptions, dir)
 	}
 	if err := log.AppendMeta(s.tr.N(), s.tr.T()); err != nil {
-		log.Close()
+		_ = log.Close() // already failing; the append error is the story
 		return err
 	}
 	s.log = log
@@ -119,13 +119,13 @@ func (s *Session) Resume(dir string) error {
 		return err
 	}
 	if st.HasMeta && (st.N != s.tr.N() || st.T != s.tr.T()) {
-		log.Close()
+		_ = log.Close() // rejecting the dir; nothing was written
 		return fmt.Errorf("%w: checkpoint is for n=%d t=%d, transport has n=%d t=%d",
 			ErrOptions, st.N, st.T, s.tr.N(), s.tr.T())
 	}
 	if !st.HasMeta {
 		if err := log.AppendMeta(s.tr.N(), s.tr.T()); err != nil {
-			log.Close()
+			_ = log.Close() // already failing; the append error is the story
 			return err
 		}
 	}
