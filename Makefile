@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json fuzz ci experiments examples cover clean
+.PHONY: all build vet lint test race bench bench-json profile fuzz ci experiments examples cover clean
 
 # Benchmarks that feed the perf-trajectory record (see bench-json).
 BENCH_PKGS = ./internal/gf16/ ./internal/rs/ ./internal/sim/ ./internal/merkle/ ./internal/baplus/
@@ -38,7 +38,18 @@ bench:
 bench-json:
 	( $(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) ; \
 	  $(GO) test -run '^$$' -bench BenchmarkE18_CrashRecovery -benchtime 3x -benchmem . ) \
-		| $(GO) run ./cmd/benchjson -before BENCH_PR2.json > BENCH_PR3.json
+		| $(GO) run ./cmd/benchjson -before BENCH_PR3.json > BENCH_PR4.json
+
+# Capture CPU and heap profiles for the headline decode benchmark (override
+# PROFILE_BENCH/PROFILE_PKG to profile something else). go test drops the
+# test binary (*.test) next to the profiles; `go tool pprof cpu.prof` finds
+# it automatically.
+PROFILE_BENCH ?= BenchmarkDecodeInterpolated_n256_k171_64KiB
+PROFILE_PKG ?= ./internal/rs/
+profile:
+	$(GO) run ./cmd/benchjson -bench '$(PROFILE_BENCH)' -pkg $(PROFILE_PKG) \
+		-cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+	@echo "profiles: cpu.prof mem.prof (inspect with: $(GO) tool pprof cpu.prof)"
 
 # Short fuzzing smoke over the panic-free decode surfaces: the stream frame
 # codec, the Π_ℓBA+ tuple decoder, and the checkpoint WAL replay. Raise

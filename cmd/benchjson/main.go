@@ -10,6 +10,13 @@
 // With -before FILE, the flat object produced by a previous run is embedded
 // alongside the fresh numbers as {"before": {...}, "after": {...}}, which is
 // the checked-in format.
+//
+// With -bench PATTERN the tool runs the benchmarks itself (`go test -run
+// '^$' -bench PATTERN -benchmem` on the -pkg package) instead of reading
+// stdin, and -cpuprofile/-memprofile pass straight through to `go test`, so
+// `make profile` can capture pprof data for exactly the benchmark being
+// tracked (the test binary is kept next to the profile as required by `go
+// tool pprof`).
 package main
 
 import (
@@ -17,7 +24,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"regexp"
 	"sort"
 	"strconv"
@@ -95,11 +104,50 @@ func parseBaseline(raw []byte) (map[string]*metrics, error) {
 	return flat, nil
 }
 
+// runBenchmarks executes the benchmarks via `go test` and returns a reader
+// over their output; lines are also echoed to stderr so the run stays
+// observable. Profiling flags are forwarded verbatim when non-empty.
+func runBenchmarks(pattern, pkg, cpuprofile, memprofile string) (io.Reader, error) {
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem"}
+	if cpuprofile != "" {
+		args = append(args, "-cpuprofile", cpuprofile)
+	}
+	if memprofile != "" {
+		args = append(args, "-memprofile", memprofile)
+	}
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
+	var buf strings.Builder
+	cmd.Stdout = io.MultiWriter(&buf, os.Stderr)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("benchjson: go %s: %w", strings.Join(args, " "), err)
+	}
+	return strings.NewReader(buf.String()), nil
+}
+
 func main() {
 	before := flag.String("before", "", "path to a previous benchjson output (flat or {before,after}) whose latest numbers become the \"before\" section")
+	bench := flag.String("bench", "", "run `go test -bench` with this pattern instead of reading stdin")
+	pkg := flag.String("pkg", "./internal/rs/", "package to benchmark with -bench")
+	cpuprofile := flag.String("cpuprofile", "", "with -bench: forward to go test -cpuprofile")
+	memprofile := flag.String("memprofile", "", "with -bench: forward to go test -memprofile")
 	flag.Parse()
 
-	sc := bufio.NewScanner(os.Stdin)
+	var in io.Reader = os.Stdin
+	if *bench != "" {
+		r, err := runBenchmarks(*bench, *pkg, *cpuprofile, *memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		in = r
+	} else if *cpuprofile != "" || *memprofile != "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -cpuprofile/-memprofile require -bench")
+		os.Exit(1)
+	}
+
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	after, err := parse(sc)
 	if err != nil {

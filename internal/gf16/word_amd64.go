@@ -1,0 +1,39 @@
+//go:build amd64
+
+package gf16
+
+// hasFastPath gates the AVX2 kernel in word_amd64.s. The full check is the
+// one Intel documents for safely executing VEX-256 code: CPUID must report
+// OSXSAVE and AVX2, and XGETBV(0) must confirm the OS preserves the XMM and
+// YMM register state across context switches.
+var hasFastPath = func() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	if eax, _ := xgetbv0(); eax&6 != 6 { // XMM and YMM state enabled
+		return false
+	}
+	_, b, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return b&avx2 != 0
+}()
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (the XCR0 feature mask).
+func xgetbv0() (eax, edx uint32)
+
+// dotWordsAVX2 accumulates dst ^= Σ_j tabs[j]·col_j over n symbols held in
+// split layout, walking len = k columns spaced stride bytes apart. n must
+// be a positive multiple of 32; tabs points at k consecutive MulTables.
+//
+//go:noescape
+func dotWordsAVX2(tabs *byte, k int, dstLo, dstHi, colsLo, colsHi *byte, stride, n int)

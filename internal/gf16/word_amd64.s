@@ -1,0 +1,110 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Nibble mask for VPSHUFB index extraction: 32 lanes of 0x0F.
+DATA nibMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibMask<>(SB), RODATA|NOPTR, $32
+
+// func dotWordsAVX2(tabs *byte, k int, dstLo, dstHi, colsLo, colsHi *byte, stride, n int)
+//
+// For each 32-symbol strip of the destination, the accumulator pair
+// (low-byte lanes, high-byte lanes) is kept in registers while the kernel
+// walks all k columns: per column, the four nibble planes of the source
+// strip index the coefficient's four 16-byte lookup tables via VPSHUFB
+// (broadcast to both 128-bit lanes), and the eight shuffled results are
+// folded into the accumulators. Strips advance in index order, so the
+// output is identical to the scalar evaluation order.
+TEXT ·dotWordsAVX2(SB), NOSPLIT, $0-64
+	MOVQ tabs+0(FP), SI
+	MOVQ k+8(FP), R8
+	MOVQ dstLo+16(FP), DI
+	MOVQ dstHi+24(FP), R9
+	MOVQ colsLo+32(FP), R10
+	MOVQ colsHi+40(FP), R11
+	MOVQ stride+48(FP), R12
+	MOVQ n+56(FP), R13
+	VMOVDQU nibMask<>(SB), Y15
+	XORQ R14, R14              // off = 0
+
+strip:
+	CMPQ R14, R13
+	JGE  done
+	VMOVDQU (DI)(R14*1), Y0    // accLo = dstLo[off:off+32]
+	VMOVDQU (R9)(R14*1), Y1    // accHi
+	MOVQ SI, AX                // table cursor
+	LEAQ (R10)(R14*1), BX      // srcLo cursor
+	LEAQ (R11)(R14*1), DX      // srcHi cursor
+	MOVQ R8, CX                // j = k
+
+column:
+	VMOVDQU (BX), Y2           // low bytes of 32 source symbols
+	VMOVDQU (DX), Y3           // high bytes
+	VPAND   Y15, Y2, Y4        // n0: low nibble of low byte
+	VPSRLW  $4, Y2, Y5
+	VPAND   Y15, Y5, Y5        // n1: high nibble of low byte
+	VPAND   Y15, Y3, Y6        // n2: low nibble of high byte
+	VPSRLW  $4, Y3, Y7
+	VPAND   Y15, Y7, Y7        // n3: high nibble of high byte
+
+	VBROADCASTI128 (AX), Y8    // nibble 0 -> low result byte
+	VPSHUFB Y4, Y8, Y8
+	VPXOR   Y8, Y0, Y0
+	VBROADCASTI128 16(AX), Y8  // nibble 0 -> high result byte
+	VPSHUFB Y4, Y8, Y8
+	VPXOR   Y8, Y1, Y1
+	VBROADCASTI128 32(AX), Y8
+	VPSHUFB Y5, Y8, Y8
+	VPXOR   Y8, Y0, Y0
+	VBROADCASTI128 48(AX), Y8
+	VPSHUFB Y5, Y8, Y8
+	VPXOR   Y8, Y1, Y1
+	VBROADCASTI128 64(AX), Y8
+	VPSHUFB Y6, Y8, Y8
+	VPXOR   Y8, Y0, Y0
+	VBROADCASTI128 80(AX), Y8
+	VPSHUFB Y6, Y8, Y8
+	VPXOR   Y8, Y1, Y1
+	VBROADCASTI128 96(AX), Y8
+	VPSHUFB Y7, Y8, Y8
+	VPXOR   Y8, Y0, Y0
+	VBROADCASTI128 112(AX), Y8
+	VPSHUFB Y7, Y8, Y8
+	VPXOR   Y8, Y1, Y1
+
+	ADDQ $128, AX              // next coefficient's MulTable
+	ADDQ R12, BX               // next column, same strip
+	ADDQ R12, DX
+	DECQ CX
+	JNZ  column
+
+	VMOVDQU Y0, (DI)(R14*1)
+	VMOVDQU Y1, (R9)(R14*1)
+	ADDQ $32, R14
+	JMP  strip
+
+done:
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

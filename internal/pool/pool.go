@@ -1,0 +1,165 @@
+// Package pool is a bounded, deterministic fan-out engine for the repo's
+// batch hot paths: Reed-Solomon stripe encode/decode (package rs), Merkle
+// leaf hashing (package merkle), and the experiment drivers.
+//
+// Design constraints, in order:
+//
+//   - Determinism. Workers claim work items by index from an atomic
+//     counter and write results only into caller-owned slots addressed by
+//     that index, so the output of a fan-out is a pure function of the
+//     input regardless of scheduling. The package is timer-free and
+//     seed-free by construction (enforced by the calint wallclock/detrand
+//     checks), so it can sit under protocol code without perturbing
+//     deterministic replay.
+//
+//   - No deadlocks, ever. The caller of ForEach participates in its own
+//     job: helper workers are an optimization, and a call completes even
+//     if every worker is busy (or the queue is full) because the calling
+//     goroutine drains remaining items itself. Nested ForEach calls from
+//     inside worker-run items are therefore safe — the inner call degrades
+//     to serial execution in the worst case.
+//
+//   - Bounded concurrency. The shared worker set grows on demand up to
+//     runtime.GOMAXPROCS at call time and is never larger; idle workers
+//     park on the job queue. With GOMAXPROCS=1 every call runs serially
+//     inline with zero goroutine traffic.
+//
+// Panics in work functions are captured, the fan-out is drained, and the
+// first panic value is re-raised on the calling goroutine.
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// job is one ForEachChunk fan-out: items [0,chunks) are claimed by
+// incrementing next; wg counts completed chunks.
+type job struct {
+	fn     func(lo, hi int)
+	n      int // total items
+	grain  int // items per chunk
+	chunks int
+	next   atomic.Int64
+	wg     sync.WaitGroup
+	panicV atomic.Pointer[panicValue]
+}
+
+type panicValue struct{ v any }
+
+var (
+	mu      sync.Mutex
+	started int
+	// queue carries jobs to parked workers. A job is enqueued once per
+	// helper wanted; each worker that receives it works it to exhaustion.
+	// The buffer bounds outstanding helper requests, not correctness: a
+	// full queue just means fewer helpers.
+	queue = make(chan *job, 128)
+)
+
+// Workers returns the current fan-out width: the number of goroutines a
+// ForEach call may use, including the caller. Callers use it to skip
+// split-merge overhead when it reports 1.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(i) for every i in [0,n), fanning the calls across the
+// worker set. It returns when all calls have completed. fn must be safe to
+// call concurrently from multiple goroutines; distinct indices must touch
+// disjoint state. Results are deterministic if fn is deterministic per
+// index.
+func ForEach(n int, fn func(i int)) {
+	ForEachChunk(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForEachChunk runs fn(lo, hi) over contiguous chunks [lo,hi) of [0,n),
+// each at most grain items wide, fanning chunks across the worker set.
+// Larger grains amortize per-claim overhead for cheap items (leaf hashes);
+// grain 1 suits expensive items (whole symbol columns).
+func ForEachChunk(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	width := Workers()
+	if width > chunks {
+		width = chunks
+	}
+	if width <= 1 {
+		for lo := 0; lo < n; lo += grain {
+			fn(lo, minInt(lo+grain, n))
+		}
+		return
+	}
+	j := &job{fn: fn, n: n, grain: grain, chunks: chunks}
+	j.wg.Add(chunks)
+	ensureWorkers(width - 1)
+	for h := 0; h < width-1; h++ {
+		select {
+		case queue <- j:
+		default:
+			h = width // queue full: proceed with fewer helpers
+		}
+	}
+	j.run() // the caller is always one of the workers
+	j.wg.Wait()
+	if p := j.panicV.Load(); p != nil {
+		panic(fmt.Sprintf("pool: work function panicked: %v", p.v))
+	}
+}
+
+// run claims and executes chunks until the job is exhausted.
+func (j *job) run() {
+	for {
+		c := int(j.next.Add(1) - 1)
+		if c >= j.chunks {
+			return
+		}
+		lo := c * j.grain
+		hi := minInt(lo+j.grain, j.n)
+		runChunk(j, lo, hi)
+	}
+}
+
+// runChunk executes one chunk, converting a panic into a recorded value so
+// the fan-out always drains and the caller can re-raise it.
+func runChunk(j *job, lo, hi int) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicV.CompareAndSwap(nil, &panicValue{v: r})
+		}
+		j.wg.Done()
+	}()
+	j.fn(lo, hi)
+}
+
+// ensureWorkers grows the shared worker set to at least want goroutines.
+// The set never shrinks; its high-water mark is bounded by the largest
+// GOMAXPROCS observed, and idle workers cost only a parked goroutine.
+func ensureWorkers(want int) {
+	mu.Lock()
+	defer mu.Unlock()
+	for started < want {
+		started++
+		go func() {
+			for j := range queue {
+				j.run()
+			}
+		}()
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

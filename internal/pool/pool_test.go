@@ -1,0 +1,129 @@
+package pool
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversAllIndices: every index runs exactly once, at any width.
+func TestForEachCoversAllIndices(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		counts := make([]atomic.Int32, n)
+		ForEach(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachChunkBounds: chunks tile [0,n) exactly, respecting grain.
+func TestForEachChunkBounds(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, tc := range []struct{ n, grain int }{
+		{10, 3}, {10, 1}, {10, 10}, {10, 100}, {64, 16}, {1, 5}, {17, 4},
+	} {
+		covered := make([]atomic.Int32, tc.n)
+		ForEachChunk(tc.n, tc.grain, func(lo, hi int) {
+			if lo < 0 || hi > tc.n || lo >= hi || hi-lo > tc.grain {
+				t.Errorf("n=%d grain=%d: bad chunk [%d,%d)", tc.n, tc.grain, lo, hi)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+			}
+		})
+		for i := range covered {
+			if got := covered[i].Load(); got != 1 {
+				t.Fatalf("n=%d grain=%d: index %d covered %d times", tc.n, tc.grain, i, got)
+			}
+		}
+	}
+}
+
+// TestDeterministicOutput: a fan-out writing per-index slots produces the
+// same bytes as serial execution, repeatedly, under contention.
+func TestDeterministicOutput(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	const n = 512
+	want := make([]uint64, n)
+	for i := range want {
+		want[i] = uint64(i)*2654435761 + 1
+	}
+	for trial := 0; trial < 50; trial++ {
+		got := make([]uint64, n)
+		ForEach(n, func(i int) { got[i] = uint64(i)*2654435761 + 1 })
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: slot %d = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNestedForEach: fan-outs from inside work items must complete (the
+// caller-participates design guarantees progress without free workers).
+func TestNestedForEach(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	var total atomic.Int64
+	ForEach(8, func(i int) {
+		ForEach(8, func(j int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != 64 {
+		t.Fatalf("nested fan-out ran %d inner items, want 64", got)
+	}
+}
+
+// TestSerialWhenSingleProc: with GOMAXPROCS=1 the call runs inline.
+func TestSerialWhenSingleProc(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	order := make([]int, 0, 16)
+	ForEach(16, func(i int) { order = append(order, i) }) // safe: serial inline
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial path ran out of order: %v", order)
+		}
+	}
+}
+
+// TestPanicPropagates: a panic in a work item surfaces on the caller after
+// the fan-out drains, and the pool remains usable afterwards.
+func TestPanicPropagates(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	var after atomic.Int32
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic did not propagate")
+			}
+			if !strings.Contains(r.(string), "boom") {
+				t.Fatalf("unexpected panic payload: %v", r)
+			}
+		}()
+		ForEach(16, func(i int) {
+			if i == 5 {
+				panic("boom")
+			}
+			after.Add(1)
+		})
+	}()
+	// Pool still works.
+	var n atomic.Int32
+	ForEach(32, func(i int) { n.Add(1) })
+	if n.Load() != 32 {
+		t.Fatal("pool unusable after panic")
+	}
+}

@@ -2,6 +2,7 @@ package rs
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -86,6 +87,19 @@ func BenchmarkDecodeSystematic_n256_k171_64KiB(b *testing.B) {
 }
 
 func BenchmarkDecodeInterpolated_n256_k171_64KiB(b *testing.B) {
+	benchCodec(b, 256, 171, 64<<10, func(rng *rand.Rand) []int {
+		return rng.Perm(256)[:171]
+	})
+}
+
+// BenchmarkDecodeInterpolated_parallel is the same workload with the pool
+// fan-out forcibly engaged (GOMAXPROCS=4): on a single-core runner it
+// measures the dispatch overhead the engine must amortize, on multicore it
+// measures the stripe-engine speedup. Output is bit-identical to the serial
+// benchmark either way (see TestParallelDecodeMatchesSerial).
+func BenchmarkDecodeInterpolated_parallel_n256_k171_64KiB(b *testing.B) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
 	benchCodec(b, 256, 171, 64<<10, func(rng *rand.Rand) []int {
 		return rng.Perm(256)[:171]
 	})

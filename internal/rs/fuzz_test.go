@@ -2,6 +2,7 @@ package rs
 
 import (
 	"bytes"
+	"math/bits"
 	"testing"
 )
 
@@ -18,6 +19,54 @@ func FuzzDecode(f *testing.F) {
 	f.Fuzz(func(t *testing.T, i0 int, d0 []byte, i1 int, d1 []byte, i2 int, d2 []byte) {
 		shares := []Share{{Index: i0, Data: d0}, {Index: i1, Data: d1}, {Index: i2, Data: d2}}
 		_, _ = c.Decode(shares)
+	})
+}
+
+// FuzzDecodeCachedVsReference pins the cached-plan word engine
+// byte-identical to the reference interpolation on fuzzer-chosen payloads
+// and erasure patterns. Each pattern is decoded twice so both the
+// plan-build (miss) and plan-reuse (hit) paths are compared.
+func FuzzDecodeCachedVsReference(f *testing.F) {
+	const n, k = 13, 8
+	c, err := NewCodec(n, k)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte("seed payload for the differential fuzz"), uint16(0b1010101010101))
+	f.Add([]byte{}, uint16(0xFF))
+	f.Add([]byte{1}, uint16(0xFFFF))
+	f.Fuzz(func(t *testing.T, payload []byte, mask uint16) {
+		if len(payload) > 1<<16 {
+			return
+		}
+		shares, err := c.Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Keep the shares whose mask bit is set, topping up from index 0 if
+		// the fuzzer set fewer than k bits.
+		if bits.OnesCount16(mask) < k {
+			mask |= 1<<k - 1
+		}
+		sel := make([]Share, 0, n)
+		for i := 0; i < n && len(sel) < k; i++ {
+			if mask&(1<<i) != 0 {
+				sel = append(sel, shares[i])
+			}
+		}
+		for pass := 0; pass < 2; pass++ {
+			gotW, errW := c.decode(sel, true)
+			gotR, errR := c.decode(sel, false)
+			if (errW == nil) != (errR == nil) {
+				t.Fatalf("mask=%#x: word err %v, reference err %v", mask, errW, errR)
+			}
+			if !bytes.Equal(gotW, gotR) {
+				t.Fatalf("mask=%#x pass=%d: cached decode diverges from reference", mask, pass)
+			}
+			if errW == nil && !bytes.Equal(gotW, payload) {
+				t.Fatalf("mask=%#x: decode does not round-trip", mask)
+			}
+		}
 	})
 }
 

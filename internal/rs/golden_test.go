@@ -1,12 +1,75 @@
 package rs
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"math/rand"
 	"testing"
 )
+
+// TestDecodeGoldenCachedMatrix pins, per (n, k), the exact cached decode
+// plan built for one deterministic erasure pattern: the digest covers the
+// missing-column list and every nibble-table byte of the expanded Lagrange
+// matrix. Any drift in the barycentric math, the evaluation points, or the
+// MulTable layout fails here before it can silently change decode results.
+// The pattern keeps the last k shares (all parity plus the tail of the data
+// range), the worst case for the number of interpolated columns.
+func TestDecodeGoldenCachedMatrix(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want string // SHA-256 over missing indices and plan table bytes
+	}{
+		{n: 4, k: 2, want: "0f7161ca34b892cbfa2e8a97f888fb43b9edb582d378e275ece1698829ec3b16"},
+		{n: 7, k: 5, want: "1c3a6e4d315789a8eb0f7dd75d84c225a788599261e012af710d0d3482cf4bc0"},
+		{n: 31, k: 21, want: "f650a66360b17dcdc526104021de9a7c7f3c1ffc67437502795f692f32889f29"},
+		{n: 64, k: 43, want: "c3e53fd3456d0b720fca369c9ec1a6867d19bdc471bf3dfdc4b20a82bdf74008"},
+		{n: 256, k: 171, want: "f36d7593b5c06b2bacac433dc6fdb9388b7f017cbdc6bf82b65e50b875b29ed5"},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("n%d_k%d", tc.n, tc.k), func(t *testing.T) {
+			c, err := NewCodec(tc.n, tc.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := goldenPayload(1024, int64(tc.n))
+			shares, err := c.Encode(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := c.scratch.Get().(*scratch)
+			defer c.scratch.Put(s)
+			chosen, err := c.selectShares(s, shares[tc.n-tc.k:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := c.planFor(s, chosen)
+			if len(plan.missing)*tc.k*128 != len(plan.tabs)*128 {
+				t.Fatalf("plan shape: %d missing, %d tables", len(plan.missing), len(plan.tabs))
+			}
+			h := sha256.New()
+			for _, m := range plan.missing {
+				h.Write([]byte{byte(m >> 8), byte(m)})
+			}
+			for i := range plan.tabs {
+				h.Write(plan.tabs[i][:])
+			}
+			got := hex.EncodeToString(h.Sum(nil))
+			if got != tc.want {
+				t.Errorf("cached decode matrix drifted:\n got %s\nwant %s", got, tc.want)
+			}
+			// The plan must decode: full round trip through the word engine.
+			dec, err := c.decode(shares[tc.n-tc.k:], true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dec, payload) {
+				t.Error("cached-matrix decode does not round-trip")
+			}
+		})
+	}
+}
 
 // goldenPayload draws a deterministic payload; math/rand's generator is
 // frozen by the Go 1 compatibility promise, so these bytes never change.

@@ -14,14 +14,29 @@
 //
 // Performance architecture: encode and decode are stripe-major batch
 // computations. Share j's byte buffer is exactly the j-th codeword symbol
-// of every stripe in sequence, so each share is one contiguous vector; the
-// codec unpacks these vectors into []gf16.Elem columns once, runs the
-// matrix-vector products with the allocation-free gf16 slice kernels
-// (MulAddSlice), and packs results back to the big-endian wire layout in
-// one pass. Scratch vectors are recycled through a per-Codec sync.Pool.
-// The output bytes are identical to the original element-at-a-time codec
-// (see golden_test.go): only the evaluation order changed, and GF(2^16)
-// arithmetic is exact.
+// of every stripe in sequence, so each share is one contiguous vector. Two
+// engines produce bit-identical output (see golden_test.go and
+// fuzz_test.go):
+//
+//   - The word engine (the default where gf16.HasFastPath reports vector
+//     kernels): decodes are keyed by the present-index set, and the full
+//     Lagrange coefficient matrix for that erasure pattern is expanded once
+//     into nibble tables and cached in a per-Codec LRU (plan.go). A decode
+//     is then one gf16.DotWords fused matrix-row product per missing data
+//     column over the split (lo/hi byte) column layout; encode streams the
+//     precomputed extension rows through the same kernel. Independent
+//     output columns fan out across pool.ForEach when the row work and
+//     GOMAXPROCS justify it; every goroutine writes only its own
+//     index-addressed slots, so results are deterministic and race-free.
+//
+//   - The reference engine (decodeReference/encodeReference): the original
+//     barycentric interpolation per call using the allocation-free
+//     gf16.MulAddSlice table kernels. It is the ground truth the word
+//     engine is differentially fuzzed against, and the only path on
+//     targets without the vector kernels.
+//
+// Scratch vectors are recycled through a per-Codec sync.Pool; see the
+// Codec doc comment for the goroutine-safety contract.
 package rs
 
 import (
@@ -32,6 +47,7 @@ import (
 	"sync"
 
 	"convexagreement/internal/gf16"
+	"convexagreement/internal/pool"
 )
 
 // Errors returned by the codec.
@@ -43,8 +59,20 @@ var (
 )
 
 // Codec is a Reed-Solomon code with n total shares and data dimension k:
-// any k of the n shares reconstruct the payload. A Codec is immutable after
-// construction and safe for concurrent use.
+// any k of the n shares reconstruct the payload.
+//
+// Goroutine-safety contract: a Codec is safe for concurrent use by multiple
+// goroutines. The code parameters and extension matrix are immutable after
+// construction. Each Encode/Decode call holds a private *scratch from an
+// internal sync.Pool for the full duration of the call, so in-flight calls
+// never share working buffers; the only bytes that outlive a call are the
+// encoded shares (freshly allocated per call) and the decoded payload
+// (copied out of scratch by unframe before the scratch is recycled).
+// Audited sharp edge: selectShares returns a view aliasing its scratch and
+// must not escape the call — no decode path retains it. The two pieces of
+// shared mutable state, the decode-plan cache and the lazily built encode
+// tables, are guarded by a mutex (planCache.mu) and a sync.Once
+// respectively.
 type Codec struct {
 	n, k int
 	// ext[r][j] is the Lagrange coefficient mapping data symbol j to
@@ -54,6 +82,12 @@ type Codec struct {
 	// matrix rows, framing buffers) across Encode/Decode calls; each call
 	// takes a private *scratch, so the Codec stays concurrency-safe.
 	scratch sync.Pool
+	// plans caches expanded decode matrices per erasure pattern (plan.go).
+	plans planCache
+	// encTabs holds ext expanded into nibble tables for the word-engine
+	// encode, row-major (n−k)×k; built on first use under encOnce.
+	encTabs []gf16.MulTable
+	encOnce sync.Once
 }
 
 // scratch is one call's reusable working set. Buffers grow to the largest
@@ -61,13 +95,18 @@ type Codec struct {
 type scratch struct {
 	framed []byte      // framed payload / reassembly grid
 	cols   []gf16.Elem // k symbol columns of `stripes` elements each, flat
-	parity []gf16.Elem // n−k parity columns, flat (encode)
-	vec    []gf16.Elem // one column: decode output
-	row    []gf16.Elem // one k-wide matrix row (decode)
-	pts    []gf16.Elem // chosen evaluation points (decode)
-	w      []gf16.Elem // barycentric weights (decode)
+	parity []gf16.Elem // n−k parity columns, flat (reference encode)
+	vec    []gf16.Elem // one column: decode output (reference)
+	row    []gf16.Elem // one k-wide matrix row (reference decode)
+	pts    []gf16.Elem // chosen evaluation points (reference decode)
+	w      []gf16.Elem // barycentric weights (reference decode)
 	seen   []bool      // share-index dedup bitmap (decode)
 	chosen []Share     // validated shares (decode)
+	key    []byte      // packed present-index cache key (word decode)
+	colsLo []byte      // split column layout, low bytes (word engine)
+	colsHi []byte      // split column layout, high bytes (word engine)
+	outLo  []byte      // per-output-column accumulators, low bytes
+	outHi  []byte      // per-output-column accumulators, high bytes
 }
 
 // Share is one codeword: the Index-th share (0-based) of an encoded payload.
@@ -86,6 +125,7 @@ func NewCodec(n, k int) (*Codec, error) {
 	}
 	c := &Codec{n: n, k: k}
 	c.scratch.New = func() any { return new(scratch) }
+	c.plans.init()
 	if n == k {
 		return c, nil
 	}
@@ -136,22 +176,33 @@ func (c *Codec) stripes(payloadLen int) int {
 	return (total + perStripe - 1) / perStripe
 }
 
-// sizeScratch (re)sizes a working set for `stripes` stripes.
-func (c *Codec) sizeScratch(s *scratch, stripes int) {
-	if need := 2 * c.k * stripes; cap(s.framed) < need {
-		s.framed = make([]byte, need)
-	} else {
-		s.framed = s.framed[:need]
+// sizeFramed (re)sizes the framed stripe grid for `stripes` stripes.
+func (c *Codec) sizeFramed(s *scratch, stripes int) []byte {
+	return resizeBytes(&s.framed, 2*c.k*stripes)
+}
+
+// wordStride is the padded column length for the word engine: stripes
+// rounded up to the 32-symbol vector width. Pad symbols are zero, which is
+// safe because zero source symbols contribute nothing to an accumulation
+// and pad output symbols are never packed back out.
+func wordStride(stripes int) int { return (stripes + 31) &^ 31 }
+
+// parallelRowWork is the per-output-column kernel work (in symbols, ≈
+// k·stripes) below which fanning out across the pool costs more than it
+// saves.
+const parallelRowWork = 1 << 14
+
+// fanOut runs fn(i) for i in [0,rows), in parallel via the pool when the
+// per-row work is heavy enough to amortize dispatch. fn must write only
+// state owned by its row index; under that discipline the result is
+// bit-identical to the serial loop regardless of scheduling.
+func fanOut(rows, rowWork int, fn func(i int)) {
+	if rows > 1 && rowWork >= parallelRowWork && pool.Workers() > 1 {
+		pool.ForEach(rows, fn)
+		return
 	}
-	if need := c.k * stripes; cap(s.cols) < need {
-		s.cols = make([]gf16.Elem, need)
-	} else {
-		s.cols = s.cols[:need]
-	}
-	if cap(s.vec) < stripes {
-		s.vec = make([]gf16.Elem, stripes)
-	} else {
-		s.vec = s.vec[:stripes]
+	for i := 0; i < rows; i++ {
+		fn(i)
 	}
 }
 
@@ -159,6 +210,12 @@ func (c *Codec) sizeScratch(s *scratch, stripes int) {
 // ShareSize(len(payload)) bytes each. Encoding is deterministic, so every
 // honest party derives identical shares from identical payloads.
 func (c *Codec) Encode(payload []byte) ([]Share, error) {
+	return c.encode(payload, gf16.HasFastPath())
+}
+
+// encode routes between the word and reference parity engines; the flag is
+// explicit so differential tests can pin the two engines byte-identical.
+func (c *Codec) encode(payload []byte, words bool) ([]Share, error) {
 	if len(payload) > 1<<31-5 {
 		return nil, fmt.Errorf("%w: payload too large", ErrParams)
 	}
@@ -166,10 +223,9 @@ func (c *Codec) Encode(payload []byte) ([]Share, error) {
 	shareSize := 2 * stripes
 	s := c.scratch.Get().(*scratch)
 	defer c.scratch.Put(s)
-	c.sizeScratch(s, stripes)
 
 	// Frame: 4-byte length header, payload, zero padding to the grid size.
-	framed := s.framed
+	framed := c.sizeFramed(s, stripes)
 	binary.BigEndian.PutUint32(framed, uint32(len(payload)))
 	copy(framed[4:], payload)
 	clearBytes(framed[4+len(payload):])
@@ -182,28 +238,78 @@ func (c *Codec) Encode(payload []byte) ([]Share, error) {
 	}
 
 	// Systematic part: share j's bytes are data column j of the stripe
-	// grid. Fill the byte buffers and the []Elem columns (for the parity
-	// products below) in one sequential sweep over framed.
-	cols := s.cols
+	// grid, filled in one sequential sweep over framed.
 	for st := 0; st < stripes; st++ {
 		base := 2 * st * c.k
 		for j := 0; j < c.k; j++ {
-			hi, lo := framed[base+2*j], framed[base+2*j+1]
-			shares[j].Data[2*st] = hi
-			shares[j].Data[2*st+1] = lo
-			cols[j*stripes+st] = gf16.Elem(uint16(hi)<<8 | uint16(lo))
+			shares[j].Data[2*st] = framed[base+2*j]
+			shares[j].Data[2*st+1] = framed[base+2*j+1]
 		}
 	}
+	if c.n == c.k {
+		return shares, nil
+	}
+	if words {
+		c.encodeWords(s, shares, stripes)
+	} else {
+		c.encodeReference(s, shares, stripes)
+	}
+	return shares, nil
+}
 
-	// Parity shares: extension share k+r is Σ_j ext[r][j] · column_j, one
-	// fused multiply-accumulate kernel call per matrix coefficient. The
-	// column loop is outermost so each source column stays L1-resident
-	// across all n−k accumulations (the parity grid, (n−k)·stripes
-	// symbols, is the streaming operand — it is the smaller of the two).
-	// Tiling: process parity rows in blocks small enough that the block's
-	// accumulators stay L1-resident while the k source columns stream
-	// through once per block.
+// encodeWords computes the parity shares with the word engine: the
+// extension matrix, expanded once into nibble tables, is streamed over the
+// split column layout with one fused gf16.DotWords call per parity share.
+// Parity rows are independent, so they fan out across the pool.
+func (c *Codec) encodeWords(s *scratch, shares []Share, stripes int) {
+	k := c.k
+	stride := wordStride(stripes)
+	colsLo := resizeBytes(&s.colsLo, k*stride)
+	colsHi := resizeBytes(&s.colsHi, k*stride)
+	for j := 0; j < k; j++ {
+		base := j * stride
+		gf16.Unpack(colsLo[base:base+stripes], colsHi[base:base+stripes], shares[j].Data)
+		clearBytes(colsLo[base+stripes : base+stride])
+		clearBytes(colsHi[base+stripes : base+stride])
+	}
+	c.encOnce.Do(c.buildEncTabs)
+	rows := c.n - k
+	outLo := resizeBytes(&s.outLo, rows*stride)
+	outHi := resizeBytes(&s.outHi, rows*stride)
+	fanOut(rows, k*stripes, func(r int) {
+		oLo := outLo[r*stride : r*stride+stride]
+		oHi := outHi[r*stride : r*stride+stride]
+		clearBytes(oLo)
+		clearBytes(oHi)
+		gf16.DotWords(c.encTabs[r*k:(r+1)*k], oLo, oHi, colsLo, colsHi, stride)
+		gf16.Pack(shares[k+r].Data, oLo[:stripes], oHi[:stripes])
+	})
+}
+
+// buildEncTabs expands the extension matrix into nibble tables, once per
+// Codec (under encOnce).
+func (c *Codec) buildEncTabs() {
+	tabs := make([]gf16.MulTable, (c.n-c.k)*c.k)
+	for r := 0; r < c.n-c.k; r++ {
+		for j := 0; j < c.k; j++ {
+			gf16.MakeMulTable(c.ext[r][j], &tabs[r*c.k+j])
+		}
+	}
+	c.encTabs = tabs
+}
+
+// encodeReference computes the parity shares with the original table-kernel
+// engine: extension share k+r is Σ_j ext[r][j] · column_j, one fused
+// multiply-accumulate kernel call per matrix coefficient. Tiling: parity
+// rows are processed in blocks small enough that the block's accumulators
+// stay L1-resident while the k source columns stream through once per
+// block.
+func (c *Codec) encodeReference(s *scratch, shares []Share, stripes int) {
 	const rowBlock = 24
+	cols := resizeElems(&s.cols, c.k*stripes)
+	for j := 0; j < c.k; j++ {
+		unpackBE(cols[j*stripes:(j+1)*stripes], shares[j].Data)
+	}
 	parity := resizeElems(&s.parity, (c.n-c.k)*stripes)
 	clearElems(parity)
 	for r0 := 0; r0 < c.n-c.k; r0 += rowBlock {
@@ -221,13 +327,19 @@ func (c *Codec) Encode(payload []byte) ([]Share, error) {
 	for r := 0; r < c.n-c.k; r++ {
 		packBE(shares[c.k+r].Data, parity[r*stripes:(r+1)*stripes])
 	}
-	return shares, nil
 }
 
 // Decode is the paper's RS.DECODE: it reconstructs the payload from any k
 // distinct, well-formed shares. Extra shares beyond k are ignored (the
 // protocol layer has already authenticated every share it passes in).
 func (c *Codec) Decode(shares []Share) ([]byte, error) {
+	return c.decode(shares, gf16.HasFastPath())
+}
+
+// decode routes between the word and reference engines; the flag is
+// explicit so FuzzDecodeCachedVsReference can pin the cached word-engine
+// path byte-identical to the reference interpolation.
+func (c *Codec) decode(shares []Share, words bool) ([]byte, error) {
 	s := c.scratch.Get().(*scratch)
 	defer c.scratch.Put(s)
 	chosen, err := c.selectShares(s, shares)
@@ -235,8 +347,7 @@ func (c *Codec) Decode(shares []Share) ([]byte, error) {
 		return nil, err
 	}
 	stripes := len(chosen[0].Data) / 2
-	c.sizeScratch(s, stripes)
-	framed := s.framed
+	framed := c.sizeFramed(s, stripes)
 
 	// Fast path: if all data-range shares are present, copy them through.
 	systematic := true
@@ -256,12 +367,65 @@ func (c *Codec) Decode(shares []Share) ([]byte, error) {
 		}
 		return unframe(framed)
 	}
+	if words {
+		return c.decodeWords(s, chosen, stripes)
+	}
+	return c.decodeReference(s, chosen, stripes)
+}
 
-	// General path: Lagrange-interpolate each stripe at the data points,
-	// batched: unpack the chosen shares into contiguous symbol columns,
-	// then compute each data column as one matrix-row × columns product
-	// with the gf16 slice kernels.
-	cols := s.cols
+// decodeWords is the cached-plan interpolated decode: look up (or build)
+// the expanded Lagrange matrix for this erasure pattern, then synthesize
+// each missing data column as one fused gf16.DotWords product over the
+// split column layout. Present data columns are copied through verbatim.
+// Missing columns are independent, so they fan out across the pool; each
+// row writes only its own out-slot and its own (disjoint) byte pairs of
+// the framed grid.
+func (c *Codec) decodeWords(s *scratch, chosen []Share, stripes int) ([]byte, error) {
+	plan := c.planFor(s, chosen)
+	k := c.k
+	stride := wordStride(stripes)
+	colsLo := resizeBytes(&s.colsLo, k*stride)
+	colsHi := resizeBytes(&s.colsHi, k*stride)
+	framed := s.framed
+	for j, sh := range chosen {
+		base := j * stride
+		gf16.Unpack(colsLo[base:base+stripes], colsHi[base:base+stripes], sh.Data)
+		clearBytes(colsLo[base+stripes : base+stride])
+		clearBytes(colsHi[base+stripes : base+stride])
+		// Present data columns land in the frame as-is.
+		if t := sh.Index; t < k {
+			for st := 0; st < stripes; st++ {
+				framed[2*(st*k+t)] = sh.Data[2*st]
+				framed[2*(st*k+t)+1] = sh.Data[2*st+1]
+			}
+		}
+	}
+	e := len(plan.missing)
+	outLo := resizeBytes(&s.outLo, e*stride)
+	outHi := resizeBytes(&s.outHi, e*stride)
+	fanOut(e, k*stripes, func(ti int) {
+		t := plan.missing[ti]
+		oLo := outLo[ti*stride : ti*stride+stride]
+		oHi := outHi[ti*stride : ti*stride+stride]
+		clearBytes(oLo)
+		clearBytes(oHi)
+		gf16.DotWords(plan.tabs[ti*k:(ti+1)*k], oLo, oHi, colsLo, colsHi, stride)
+		for st := 0; st < stripes; st++ {
+			framed[2*(st*k+t)] = oHi[st]
+			framed[2*(st*k+t)+1] = oLo[st]
+		}
+	})
+	return unframe(framed)
+}
+
+// decodeReference is the original interpolated decode, retained as the
+// ground-truth implementation: Lagrange-interpolate each stripe at the
+// data points, batched — unpack the chosen shares into contiguous symbol
+// columns, then compute each data column as one matrix-row × columns
+// product with the gf16 slice kernels, rebuilding the matrix row per call.
+func (c *Codec) decodeReference(s *scratch, chosen []Share, stripes int) ([]byte, error) {
+	framed := s.framed
+	cols := resizeElems(&s.cols, c.k*stripes)
 	for j := 0; j < c.k; j++ {
 		unpackBE(cols[j*stripes:(j+1)*stripes], chosen[j].Data)
 	}
@@ -281,7 +445,7 @@ func (c *Codec) Decode(shares []Share) ([]byte, error) {
 		w[j] = gf16.Inv(prod)
 	}
 	row := resizeElems(&s.row, c.k)
-	out := s.vec
+	out := resizeElems(&s.vec, stripes)
 	for t := 0; t < c.k; t++ {
 		tp := point(t)
 		// If the target point is among the chosen points, the polynomial
@@ -390,6 +554,14 @@ func unpackBE(dst []gf16.Elem, src []byte) {
 func resizeElems(buf *[]gf16.Elem, n int) []gf16.Elem {
 	if cap(*buf) < n {
 		*buf = make([]gf16.Elem, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func resizeBytes(buf *[]byte, n int) []byte {
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
 	}
 	*buf = (*buf)[:n]
 	return *buf

@@ -26,8 +26,20 @@ go run ./cmd/calint ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (root, sim, rs, tcpnet, channet, faultnet, mux, asyncnet, checkpoint, supervisor)"
-go test -race -short . ./internal/sim/... ./internal/rs/... ./internal/tcpnet/... ./internal/channet/... ./internal/faultnet/... ./internal/mux/... ./internal/asyncnet/... ./internal/checkpoint/... ./internal/supervisor/...
+echo "== go test -race (root, sim, rs, gf16, pool, merkle, tcpnet, channet, faultnet, mux, asyncnet, checkpoint, supervisor)"
+go test -race -short . ./internal/sim/... ./internal/rs/... ./internal/gf16/... ./internal/pool/... ./internal/merkle/... ./internal/tcpnet/... ./internal/channet/... ./internal/faultnet/... ./internal/mux/... ./internal/asyncnet/... ./internal/checkpoint/... ./internal/supervisor/...
+
+echo "== bench-json chain guard"
+# The newest perf-trajectory record must be chained: `make bench-json` emits
+# {"before": <previous PR's numbers>, "after": <fresh numbers>}, and a flat
+# file here means the baseline was dropped and PR-over-PR comparisons are
+# silently broken.
+latest=$(ls BENCH_PR*.json | sort -V | tail -1)
+if ! grep -q '"before"' "$latest"; then
+	echo "bench-json output $latest lacks the chained \"before\" key" >&2
+	echo "(regenerate with: make bench-json)" >&2
+	exit 1
+fi
 
 echo "== go test -fuzz smoke (wire frames, baplus tuples, checkpoint WAL)"
 go test -run '^$' -fuzz FuzzReadFrame -fuzztime 5s ./internal/wire/
