@@ -5,7 +5,7 @@ GO ?= go
 .PHONY: all build vet lint test race bench bench-json profile fuzz ci experiments examples cover clean
 
 # Benchmarks that feed the perf-trajectory record (see bench-json).
-BENCH_PKGS = ./internal/gf16/ ./internal/rs/ ./internal/sim/ ./internal/merkle/ ./internal/baplus/
+BENCH_PKGS = ./internal/gf16/ ./internal/rs/ ./internal/sim/ ./internal/merkle/ ./internal/baplus/ ./internal/wire/ ./internal/tcpnet/
 
 all: build vet test
 
@@ -37,8 +37,9 @@ bench:
 # per-benchmark speedup summary is printed to stderr.
 bench-json:
 	( $(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) ; \
-	  $(GO) test -run '^$$' -bench BenchmarkE18_CrashRecovery -benchtime 3x -benchmem . ) \
-		| $(GO) run ./cmd/benchjson -before BENCH_PR3.json > BENCH_PR4.json
+	  $(GO) test -run '^$$' -bench BenchmarkE18_CrashRecovery -benchtime 3x -benchmem . ; \
+	  $(GO) test -run '^$$' -bench BenchmarkSweepN1024 -benchtime 1x -benchmem . ) \
+		| $(GO) run ./cmd/benchjson -before BENCH_PR4.json > BENCH_PR5.json
 
 # Capture CPU and heap profiles for the headline decode benchmark (override
 # PROFILE_BENCH/PROFILE_PKG to profile something else). go test drops the
@@ -52,11 +53,14 @@ profile:
 	@echo "profiles: cpu.prof mem.prof (inspect with: $(GO) tool pprof cpu.prof)"
 
 # Short fuzzing smoke over the panic-free decode surfaces: the stream frame
-# codec, the Π_ℓBA+ tuple decoder, and the checkpoint WAL replay. Raise
-# FUZZTIME for a real campaign.
+# codec (copying and borrowing decoders), the Π_ℓBA+ tuple decoder, and the
+# checkpoint WAL replay. Raise FUZZTIME for a real campaign. The wire
+# patterns are anchored because go test refuses a -fuzz pattern that matches
+# more than one target.
 FUZZTIME ?= 10s
 fuzz:
-	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz 'FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz 'FuzzReadFrameInto$$' -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/baplus/
 	$(GO) test -run '^$$' -fuzz FuzzInspectState -fuzztime $(FUZZTIME) ./internal/checkpoint/
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -454,6 +455,41 @@ func BenchmarkE10_AdversaryAblation(b *testing.B) {
 		res = runAgree(b, inputs, ca.Options{Protocol: ca.ProtoOptimalNat, Corruptions: corr, Seed: 10})
 	}
 	reportCost(b, res, ell, n)
+}
+
+// BenchmarkSweepN1024 is the scale proof for the zero-copy wire path
+// (DESIGN.md §2.9): a full synchronous approximate-agreement instance at
+// n=1024 — roughly a million messages per round — with a hard per-party
+// heap budget. The assertion is deliberately generous (512 KiB/party,
+// ~7× the observed footprint) so it catches a pooling regression that
+// reintroduces per-message allocation, not benign noise. One op is a
+// whole instance: expect seconds per iteration.
+func BenchmarkSweepN1024(b *testing.B) {
+	const n, bits = 1024, 64
+	inputs := benchInputs(n, bits, 1024)
+	maxInput := new(big.Int).Lsh(big.NewInt(1), bits)
+	eps := new(big.Int).Lsh(big.NewInt(1), 32)
+	var res *ca.ApproxResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = ca.ApproxAgree(inputs, maxInput, eps, ca.Options{Seed: 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	perParty := float64(ms.HeapAlloc) / n
+	const budget = 512 << 10
+	if perParty > budget {
+		b.Fatalf("heap budget exceeded: %.0f B/party retained after GC (budget %d B/party)", perParty, budget)
+	}
+	b.ReportMetric(perParty/1024, "KiB/party")
+	b.ReportMetric(float64(res.Rounds), "rounds")
+	b.ReportMetric(float64(res.HonestBits), "honest_bits")
 }
 
 // BenchmarkLargeN times the optimal protocol in the regime the hot-path

@@ -17,6 +17,12 @@
 // `make profile` can capture pprof data for exactly the benchmark being
 // tracked (the test binary is kept next to the profile as required by `go
 // tool pprof`).
+//
+// With -guard-allocs PATTERN (requires -before), the tool exits non-zero if
+// any benchmark matching PATTERN that appears in both runs reports more
+// allocs/op after than before. CI uses this to pin the zero-copy wire path:
+// allocation counts are deterministic, so unlike ns/op they can gate without
+// flaking.
 package main
 
 import (
@@ -126,13 +132,59 @@ func runBenchmarks(pattern, pkg, cpuprofile, memprofile string) (io.Reader, erro
 	return strings.NewReader(buf.String()), nil
 }
 
+// checkAllocGuard fails if any benchmark matching pattern and present in
+// both runs grew its allocs/op. Benchmarks missing from either side (or
+// missing the metric, e.g. a run without -benchmem) are skipped: the guard
+// gates regressions in numbers we have, it does not enforce coverage.
+func checkAllocGuard(pattern string, baseline, after map[string]*metrics) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("-guard-allocs %q: %v", pattern, err)
+	}
+	names := make([]string, 0, len(after))
+	for name := range after {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressed []string
+	checked := 0
+	for _, name := range names {
+		if !re.MatchString(name) {
+			continue
+		}
+		b, a := baseline[name], after[name]
+		if b == nil || b.AllocsOp == nil || a.AllocsOp == nil {
+			continue
+		}
+		checked++
+		if *a.AllocsOp > *b.AllocsOp {
+			regressed = append(regressed,
+				fmt.Sprintf("%s: %.0f -> %.0f allocs/op", name, *b.AllocsOp, *a.AllocsOp))
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("allocs/op regressed:\n  %s", strings.Join(regressed, "\n  "))
+	}
+	if checked == 0 {
+		return fmt.Errorf("-guard-allocs %q matched no benchmark present in both runs", pattern)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: allocs/op guard: %d benchmark(s) checked, none regressed\n", checked)
+	return nil
+}
+
 func main() {
 	before := flag.String("before", "", "path to a previous benchjson output (flat or {before,after}) whose latest numbers become the \"before\" section")
 	bench := flag.String("bench", "", "run `go test -bench` with this pattern instead of reading stdin")
 	pkg := flag.String("pkg", "./internal/rs/", "package to benchmark with -bench")
 	cpuprofile := flag.String("cpuprofile", "", "with -bench: forward to go test -cpuprofile")
 	memprofile := flag.String("memprofile", "", "with -bench: forward to go test -memprofile")
+	guardAllocs := flag.String("guard-allocs", "", "with -before: fail if allocs/op grew for benchmarks matching this regexp")
 	flag.Parse()
+
+	if *guardAllocs != "" && *before == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -guard-allocs requires -before")
+		os.Exit(1)
+	}
 
 	var in io.Reader = os.Stdin
 	if *bench != "" {
@@ -160,13 +212,14 @@ func main() {
 	}
 
 	var doc any = after
+	var baseline map[string]*metrics
 	if *before != "" {
 		raw, err := os.ReadFile(*before)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		baseline, err := parseBaseline(raw)
+		baseline, err = parseBaseline(raw)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *before, err)
 			os.Exit(1)
@@ -180,6 +233,13 @@ func main() {
 		os.Exit(1)
 	}
 	os.Stdout.Write(b)
+
+	if *guardAllocs != "" {
+		if err := checkAllocGuard(*guardAllocs, baseline, after); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
 
 	// A terse speedup summary on stderr helps eyeball regressions without
 	// opening the JSON.

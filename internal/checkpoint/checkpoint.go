@@ -244,7 +244,7 @@ func (st *State) apply(body []byte) error {
 		inst := &Instance{}
 		inst.Seq = rd.Uvarint()
 		inst.Kind = rd.Byte()
-		inst.Protocol = string(rd.Bytes())
+		inst.Protocol = string(rd.BytesZC()) // string conversion copies
 		inst.Width = rd.Int()
 		inst.Input = readBig(rd)
 		inst.Diam = readBig(rd)
@@ -380,14 +380,15 @@ func writeBig(w *wire.Writer, v *big.Int) {
 	}
 }
 
-// readBig decodes writeBig's encoding.
+// readBig decodes writeBig's encoding. Borrowed reads: big.Int.SetBytes
+// copies its operand.
 func readBig(rd *wire.Reader) *big.Int {
 	switch rd.Byte() {
 	case 0:
 		return nil
 	case 2:
-		return new(big.Int).Neg(new(big.Int).SetBytes(rd.Bytes()))
+		return new(big.Int).Neg(new(big.Int).SetBytes(rd.BytesZC()))
 	default:
-		return new(big.Int).SetBytes(rd.Bytes())
+		return new(big.Int).SetBytes(rd.BytesZC())
 	}
 }

@@ -309,6 +309,12 @@ func (f *Net) applyFaults(out []transport.Packet, r int) []transport.Packet {
 				if d <= 0 {
 					d = 1
 				}
+				// Defensive copy: the packet is resent d rounds from now,
+				// but the transport contract only guarantees the caller's
+				// payload through this Exchange call — senders may reuse
+				// scratch buffers, and zero-copy paths (pooled wire frames,
+				// the mux bump buffer) recycle payload memory per round.
+				p.Payload = append([]byte(nil), p.Payload...)
 				f.held[r+d] = append(f.held[r+d], p)
 				dropped = true
 			case Duplicate:

@@ -16,11 +16,12 @@ package gf16
 // Operands use a split ("structure of arrays") layout: a vector of n
 // symbols is carried as two n-byte slices, the low bytes and the high
 // bytes. This is what makes the kernels word-oriented: the generic path
-// streams the operands as machine words of 8 symbol-halves, and the amd64
-// path (word_amd64.s) processes 32 symbols per step by running all four
-// nibble lookups as in-register VPSHUFB shuffles — the same 128-byte
-// MulTable serves both. Pack/Unpack convert between this layout and the
-// big-endian wire layout of package rs shares.
+// streams the operands as machine words of 8 symbol-halves, and the vector
+// paths process 32 symbols per step by running all four nibble lookups as
+// in-register byte shuffles — VPSHUFB on amd64 (word_amd64.s), TBL on
+// arm64 (word_arm64.s); the same 128-byte MulTable serves all three.
+// Pack/Unpack convert between this layout and the big-endian wire layout
+// of package rs shares.
 //
 // DotWords fuses a whole matrix row — dst ^= Σ_j tabs[j]·col_j — so the
 // accumulator stays in registers across the column walk instead of being
@@ -67,7 +68,7 @@ func MulAccWord(t *MulTable, dstLo, dstHi, srcLo, srcHi []byte) {
 		return
 	}
 	if n32 := n &^ 31; hasFastPath && n32 > 0 {
-		dotWordsAVX2(&t[0], 1, &dstLo[0], &dstHi[0], &srcLo[0], &srcHi[0], 0, n32)
+		dotWordsVec(&t[0], 1, &dstLo[0], &dstHi[0], &srcLo[0], &srcHi[0], 0, n32)
 		dstLo, dstHi = dstLo[n32:], dstHi[n32:]
 		srcLo, srcHi = srcLo[n32:], srcHi[n32:]
 	}
@@ -94,7 +95,7 @@ func DotWords(tabs []MulTable, dstLo, dstHi, colsLo, colsHi []byte, stride int) 
 	}
 	n32 := n &^ 31
 	if hasFastPath && n32 > 0 {
-		dotWordsAVX2(&tabs[0][0], k, &dstLo[0], &dstHi[0], &colsLo[0], &colsHi[0], stride, n32)
+		dotWordsVec(&tabs[0][0], k, &dstLo[0], &dstHi[0], &colsLo[0], &colsHi[0], stride, n32)
 		if n32 == n {
 			return
 		}
@@ -124,8 +125,9 @@ func mulAccGeneric(t *MulTable, dstLo, dstHi, srcLo, srcHi []byte) {
 	}
 }
 
-// HasFastPath reports whether the vectorized kernel path is active
-// (amd64 with AVX2). The generic kernels are used otherwise; callers that
+// HasFastPath reports whether the vectorized kernel path is active (amd64
+// with AVX2, or arm64 where NEON is architecturally guaranteed). The
+// generic kernels are used otherwise; callers that
 // keep a wholly different slow path (package rs) consult this to decide
 // whether the split-layout round trip pays for itself.
 func HasFastPath() bool { return hasFastPath }

@@ -31,9 +31,10 @@ func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 // xgetbv0 reads extended control register 0 (the XCR0 feature mask).
 func xgetbv0() (eax, edx uint32)
 
-// dotWordsAVX2 accumulates dst ^= Σ_j tabs[j]·col_j over n symbols held in
+// dotWordsVec accumulates dst ^= Σ_j tabs[j]·col_j over n symbols held in
 // split layout, walking len = k columns spaced stride bytes apart. n must
 // be a positive multiple of 32; tabs points at k consecutive MulTables.
+// The amd64 implementation uses AVX2 (word_amd64.s).
 //
 //go:noescape
-func dotWordsAVX2(tabs *byte, k int, dstLo, dstHi, colsLo, colsHi *byte, stride, n int)
+func dotWordsVec(tabs *byte, k int, dstLo, dstHi, colsLo, colsHi *byte, stride, n int)

@@ -9,7 +9,7 @@ DATA nibMask<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
 DATA nibMask<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
 GLOBL nibMask<>(SB), RODATA|NOPTR, $32
 
-// func dotWordsAVX2(tabs *byte, k int, dstLo, dstHi, colsLo, colsHi *byte, stride, n int)
+// func dotWordsVec(tabs *byte, k int, dstLo, dstHi, colsLo, colsHi *byte, stride, n int)
 //
 // For each 32-symbol strip of the destination, the accumulator pair
 // (low-byte lanes, high-byte lanes) is kept in registers while the kernel
@@ -18,7 +18,7 @@ GLOBL nibMask<>(SB), RODATA|NOPTR, $32
 // (broadcast to both 128-bit lanes), and the eight shuffled results are
 // folded into the accumulators. Strips advance in index order, so the
 // output is identical to the scalar evaluation order.
-TEXT ·dotWordsAVX2(SB), NOSPLIT, $0-64
+TEXT ·dotWordsVec(SB), NOSPLIT, $0-64
 	MOVQ tabs+0(FP), SI
 	MOVQ k+8(FP), R8
 	MOVQ dstLo+16(FP), DI

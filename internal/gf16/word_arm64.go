@@ -1,0 +1,17 @@
+//go:build arm64
+
+package gf16
+
+// AdvSIMD (NEON) is a mandatory part of the ARMv8-A profile Go's arm64
+// port targets, so unlike amd64 there is no runtime feature probe: every
+// arm64 machine that can run this binary has the TBL/EOR datapath the
+// kernel needs.
+const hasFastPath = true
+
+// dotWordsVec accumulates dst ^= Σ_j tabs[j]·col_j over n symbols held in
+// split layout, walking len = k columns spaced stride bytes apart. n must
+// be a positive multiple of 32; tabs points at k consecutive MulTables.
+// The arm64 implementation uses NEON TBL lookups (word_arm64.s).
+//
+//go:noescape
+func dotWordsVec(tabs *byte, k int, dstLo, dstHi, colsLo, colsHi *byte, stride, n int)

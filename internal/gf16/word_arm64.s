@@ -1,0 +1,105 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// func dotWordsVec(tabs *byte, k int, dstLo, dstHi, colsLo, colsHi *byte, stride, n int)
+//
+// NEON mirror of the AVX2 kernel in word_amd64.s: for each 32-symbol strip
+// of the destination, the accumulator quartet (low/high result bytes ×
+// two 16-lane halves) stays in registers while the kernel walks all k
+// columns. Per column, the coefficient's eight 16-byte nibble tables are
+// loaded into V16–V23 and each of the four nibble planes of the source
+// strip indexes its pair of tables via TBL — the 16-lane equivalent of
+// VPSHUFB, reached here as two halves per 32-byte strip. Byte-wise USHR
+// yields the high nibble directly (no post-mask: it shifts bytes, not
+// words). Strips advance in index order, so the output is identical to
+// the scalar evaluation order, and the same 128-byte MulTable layout
+// serves amd64, arm64, and the generic path unchanged.
+TEXT ·dotWordsVec(SB), NOSPLIT, $0-64
+	MOVD tabs+0(FP), R0
+	MOVD k+8(FP), R1
+	MOVD dstLo+16(FP), R2
+	MOVD dstHi+24(FP), R3
+	MOVD colsLo+32(FP), R4
+	MOVD colsHi+40(FP), R5
+	MOVD stride+48(FP), R6
+	MOVD n+56(FP), R7
+	VMOVI $0x0f, V31.B16       // nibble mask
+	MOVD $0, R8                // off = 0
+
+strip:
+	CMP  R7, R8
+	BGE  done
+	ADD  R2, R8, R13           // &dstLo[off]
+	ADD  R3, R8, R14           // &dstHi[off]
+	VLD1 (R13), [V0.B16, V1.B16] // accLo, both 16-lane halves
+	VLD1 (R14), [V2.B16, V3.B16] // accHi
+	MOVD R0, R9                // table cursor
+	ADD  R4, R8, R10           // srcLo cursor
+	ADD  R5, R8, R11           // srcHi cursor
+	MOVD R1, R12               // j = k
+
+column:
+	// Eight 16-byte tables per coefficient: (n0,n1,n2,n3) × (lo,hi out).
+	VLD1.P 64(R9), [V16.B16, V17.B16, V18.B16, V19.B16]
+	VLD1.P 64(R9), [V20.B16, V21.B16, V22.B16, V23.B16]
+	VLD1 (R10), [V4.B16, V5.B16] // low bytes of 32 source symbols
+	VLD1 (R11), [V6.B16, V7.B16] // high bytes
+
+	VAND  V31.B16, V4.B16, V8.B16  // n0, half a
+	VUSHR $4, V4.B16, V9.B16       // n1, half a
+	VAND  V31.B16, V5.B16, V10.B16 // n0, half b
+	VUSHR $4, V5.B16, V11.B16      // n1, half b
+	VAND  V31.B16, V6.B16, V12.B16 // n2, half a
+	VUSHR $4, V6.B16, V13.B16      // n3, half a
+	VAND  V31.B16, V7.B16, V14.B16 // n2, half b
+	VUSHR $4, V7.B16, V15.B16      // n3, half b
+
+	VTBL V8.B16, [V16.B16], V24.B16  // n0 -> low result byte
+	VEOR V24.B16, V0.B16, V0.B16
+	VTBL V10.B16, [V16.B16], V25.B16
+	VEOR V25.B16, V1.B16, V1.B16
+	VTBL V8.B16, [V17.B16], V26.B16  // n0 -> high result byte
+	VEOR V26.B16, V2.B16, V2.B16
+	VTBL V10.B16, [V17.B16], V27.B16
+	VEOR V27.B16, V3.B16, V3.B16
+
+	VTBL V9.B16, [V18.B16], V24.B16  // n1
+	VEOR V24.B16, V0.B16, V0.B16
+	VTBL V11.B16, [V18.B16], V25.B16
+	VEOR V25.B16, V1.B16, V1.B16
+	VTBL V9.B16, [V19.B16], V26.B16
+	VEOR V26.B16, V2.B16, V2.B16
+	VTBL V11.B16, [V19.B16], V27.B16
+	VEOR V27.B16, V3.B16, V3.B16
+
+	VTBL V12.B16, [V20.B16], V24.B16 // n2
+	VEOR V24.B16, V0.B16, V0.B16
+	VTBL V14.B16, [V20.B16], V25.B16
+	VEOR V25.B16, V1.B16, V1.B16
+	VTBL V12.B16, [V21.B16], V26.B16
+	VEOR V26.B16, V2.B16, V2.B16
+	VTBL V14.B16, [V21.B16], V27.B16
+	VEOR V27.B16, V3.B16, V3.B16
+
+	VTBL V13.B16, [V22.B16], V24.B16 // n3
+	VEOR V24.B16, V0.B16, V0.B16
+	VTBL V15.B16, [V22.B16], V25.B16
+	VEOR V25.B16, V1.B16, V1.B16
+	VTBL V13.B16, [V23.B16], V26.B16
+	VEOR V26.B16, V2.B16, V2.B16
+	VTBL V15.B16, [V23.B16], V27.B16
+	VEOR V27.B16, V3.B16, V3.B16
+
+	ADD  R6, R10               // next column, same strip
+	ADD  R6, R11
+	SUBS $1, R12, R12
+	BNE  column
+
+	VST1 [V0.B16, V1.B16], (R13)
+	VST1 [V2.B16, V3.B16], (R14)
+	ADD  $32, R8
+	B    strip
+
+done:
+	RET

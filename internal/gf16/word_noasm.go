@@ -1,12 +1,12 @@
-//go:build !amd64
+//go:build !amd64 && !arm64
 
 package gf16
 
-// Targets without the assembly kernel always take the generic word path.
+// Targets without an assembly kernel always take the generic word path.
 const hasFastPath = false
 
-// dotWordsAVX2 is never called when hasFastPath is false; this stub keeps
+// dotWordsVec is never called when hasFastPath is false; this stub keeps
 // the portable build compiling without build-tagging the call sites.
-func dotWordsAVX2(tabs *byte, k int, dstLo, dstHi, colsLo, colsHi *byte, stride, n int) {
+func dotWordsVec(tabs *byte, k int, dstLo, dstHi, colsLo, colsHi *byte, stride, n int) {
 	panic("gf16: vector kernel unavailable")
 }

@@ -136,7 +136,7 @@ func TestGenericVsFastPath(t *testing.T) {
 	fastLo, fastHi := make([]byte, n), make([]byte, n)
 	genLo, genHi := make([]byte, n), make([]byte, n)
 
-	dotWordsAVX2(&tabs[0][0], k, &fastLo[0], &fastHi[0], &colsLo[0], &colsHi[0], stride, n)
+	dotWordsVec(&tabs[0][0], k, &fastLo[0], &fastHi[0], &colsLo[0], &colsHi[0], stride, n)
 	for j := range tabs {
 		off := j * stride
 		mulAccGeneric(&tabs[j], genLo, genHi, colsLo[off:off+n], colsHi[off:off+n])

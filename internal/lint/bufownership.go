@@ -1,0 +1,243 @@
+package lint
+
+// bufownership enforces the pooled-frame lifetime contract of
+// internal/wire (DESIGN.md §2.9): a *wire.Frame returned by an Arena is
+// owned by the caller until Release, Release must be called exactly once,
+// and neither the frame nor anything aliasing its buffer (Bytes, decoded
+// payloads) may be touched afterwards — the buffer is back in the pool
+// and any goroutine may already be overwriting it. At runtime a double
+// Release panics and a use-after-release is a silent use-after-free
+// analog; this check catches both shapes statically, at the call site,
+// before a test has to get lucky with pool reuse timing.
+//
+// The analysis mirrors mutexhold's flow-approximate interpreter: it
+// threads a released-frame set through sequential statements, forks it
+// into branches, and resets it at goroutine/closure boundaries. Releases
+// in a `defer` are credited at function exit (the window where later uses
+// are legal), but a second Release of the same frame — sequential or
+// deferred — is always a finding. Reassigning the variable starts a new
+// frame and clears its state. Safe-by-construction patterns the
+// approximation cannot see (ownership handoff between goroutines,
+// release-then-refill helpers) are documented at the call site with
+// //calint:ignore bufownership <reason>.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+var bufownershipAnalyzer = &Analyzer{
+	Name: "bufownership",
+	Doc:  "pooled wire.Frame released twice or used after Release",
+	Run:  runBufownership,
+}
+
+func runBufownership(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					walkFrameStmts(p, fn.Body.List, frameState{})
+				}
+			case *ast.FuncLit:
+				walkFrameStmts(p, fn.Body.List, frameState{})
+			}
+			return true
+		})
+	}
+}
+
+// frameState maps the printed expression of a released frame ("f",
+// "c.hdr") to the position of the Release that retired it. A deferred
+// Release is recorded with pos token.NoPos semantics via the deferred
+// map so later sequential uses stay legal but double releases are caught.
+type frameState map[string]token.Pos
+
+func (s frameState) clone() frameState {
+	c := make(frameState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// walkFrameStmts interprets a statement list, threading the released set
+// through sequential flow and forking it into branches. deferred tracks
+// frames whose Release is scheduled at function exit.
+func walkFrameStmts(p *Pass, stmts []ast.Stmt, released frameState) {
+	deferred := frameState{}
+	walkFrameList(p, stmts, released, deferred)
+}
+
+func walkFrameList(p *Pass, stmts []ast.Stmt, released, deferred frameState) {
+	for _, stmt := range stmts {
+		walkFrameStmt(p, stmt, released, deferred)
+	}
+}
+
+func walkFrameStmt(p *Pass, stmt ast.Stmt, released, deferred frameState) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, pos, ok := frameReleaseOp(p, s.X); ok {
+			reportIfReleased(p, key, pos, released, deferred)
+			released[key] = pos
+			return
+		}
+		checkFrameUse(p, s.X, released)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			checkFrameUse(p, e, released)
+		}
+		// Assigning to the variable binds it to a fresh frame: its
+		// previous lifetime ends here and tracking restarts.
+		for _, e := range s.Lhs {
+			delete(released, exprKey(e))
+			delete(deferred, exprKey(e))
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			checkFrameUse(p, e, released)
+		}
+	case *ast.DeferStmt:
+		if key, pos, ok := frameReleaseOp(p, s.Call); ok {
+			// The deferred Release fires at function exit, after every
+			// later statement — so it does not retire the frame for the
+			// rest of the body, but a second Release anywhere is still a
+			// double release.
+			reportIfReleased(p, key, pos, released, deferred)
+			deferred[key] = pos
+			return
+		}
+		checkFrameUse(p, s.Call, released)
+	case *ast.GoStmt:
+		// The goroutine body runs elsewhere; it is analyzed separately
+		// with fresh state by the top-level FuncLit walk.
+		for _, arg := range s.Call.Args {
+			checkFrameUse(p, arg, released)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						checkFrameUse(p, e, released)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		walkFrameStmt(p, s.Stmt, released, deferred)
+	case *ast.BlockStmt:
+		walkFrameList(p, s.List, released, deferred)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkFrameStmt(p, s.Init, released, deferred)
+		}
+		checkFrameUse(p, s.Cond, released)
+		walkFrameList(p, s.Body.List, released.clone(), deferred.clone())
+		if s.Else != nil {
+			walkFrameStmt(p, s.Else, released.clone(), deferred.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			walkFrameStmt(p, s.Init, released, deferred)
+		}
+		if s.Cond != nil {
+			checkFrameUse(p, s.Cond, released)
+		}
+		walkFrameList(p, s.Body.List, released.clone(), deferred.clone())
+	case *ast.RangeStmt:
+		checkFrameUse(p, s.X, released)
+		walkFrameList(p, s.Body.List, released.clone(), deferred.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			walkFrameStmt(p, s.Init, released, deferred)
+		}
+		if s.Tag != nil {
+			checkFrameUse(p, s.Tag, released)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkFrameList(p, cc.Body, released.clone(), deferred.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkFrameList(p, cc.Body, released.clone(), deferred.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				walkFrameList(p, cc.Body, released.clone(), deferred.clone())
+			}
+		}
+	}
+}
+
+// reportIfReleased flags a Release of a frame that has already been
+// released (sequentially or by an earlier defer).
+func reportIfReleased(p *Pass, key string, pos token.Pos, released, deferred frameState) {
+	if prev, ok := released[key]; ok {
+		p.Reportf(pos, "frame %s released twice (first at line %d); the second Release panics and would poison the pool",
+			key, p.Fset.Position(prev).Line)
+	} else if prev, ok := deferred[key]; ok {
+		p.Reportf(pos, "frame %s released twice (deferred Release at line %d also fires); the second Release panics and would poison the pool",
+			key, p.Fset.Position(prev).Line)
+	}
+}
+
+// checkFrameUse reports any appearance of a released frame inside expr
+// (function literals excluded: they execute elsewhere, and the goroutine
+// reset rule applies).
+func checkFrameUse(p *Pass, expr ast.Expr, released frameState) {
+	if len(released) == 0 || expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		key := exprKey(e)
+		pos, hit := released[key]
+		if !hit {
+			return true
+		}
+		p.Reportf(e.Pos(), "frame %s used after Release (released at line %d); the pooled buffer may already be reused — copy what you need before releasing",
+			key, p.Fset.Position(pos).Line)
+		return false
+	})
+}
+
+// frameReleaseOp reports whether expr is a Release() call on a
+// *wire.Frame and returns the receiver's tracking key.
+func frameReleaseOp(p *Pass, expr ast.Expr) (key string, pos token.Pos, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return "", token.NoPos, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", token.NoPos, false
+	}
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Name() != "Release" {
+		return "", token.NoPos, false
+	}
+	rp, rt := recvTypeName(fn)
+	if rp != modulePath+"/internal/wire" || rt != "Frame" {
+		return "", token.NoPos, false
+	}
+	return exprKey(sel.X), call.Pos(), true
+}

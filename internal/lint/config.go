@@ -48,7 +48,7 @@ func appliesTo(check, rel string) bool {
 		return !matchAny(rel, realTimePkgs) && !matchAny(rel, driverPkgs) && !matchAny(rel, harnessPkgs)
 	case "maporder":
 		return !matchAny(rel, harnessPkgs)
-	case "errdrop", "mutexhold":
+	case "errdrop", "mutexhold", "bufownership":
 		return !matchAny(rel, harnessPkgs)
 	}
 	return true

@@ -90,7 +90,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{detrandAnalyzer, wallclockAnalyzer, maporderAnalyzer, errdropAnalyzer, mutexholdAnalyzer}
+	return []*Analyzer{detrandAnalyzer, wallclockAnalyzer, maporderAnalyzer, errdropAnalyzer, mutexholdAnalyzer, bufownershipAnalyzer}
 }
 
 // AnalyzerByName resolves one analyzer, or nil.

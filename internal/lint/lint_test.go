@@ -108,6 +108,8 @@ func TestMaporderGolden(t *testing.T)  { goldenTest(t, "maporder") }
 func TestErrdropGolden(t *testing.T)   { goldenTest(t, "errdrop") }
 func TestMutexholdGolden(t *testing.T) { goldenTest(t, "mutexhold") }
 
+func TestBufownershipGolden(t *testing.T) { goldenTest(t, "bufownership") }
+
 // TestRepoClean is the in-process version of the CI gate: the repository
 // itself must carry zero findings (every true positive fixed or
 // explicitly suppressed with a reasoned directive).
@@ -224,6 +226,8 @@ func TestConfigScope(t *testing.T) {
 		{"maporder", "internal/lint", false},
 		{"errdrop", "", true},
 		{"mutexhold", "internal/tcpnet", true},
+		{"bufownership", "internal/tcpnet", true},
+		{"bufownership", "internal/lint", false},
 	}
 	for _, c := range cases {
 		if got := appliesTo(c.check, c.rel); got != c.want {

@@ -21,11 +21,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 
 	"convexagreement/internal/transport"
-	"convexagreement/internal/wire"
 )
 
 // ErrAborted reports that a sibling instance failed, tearing down the
@@ -153,13 +153,31 @@ func (m *Mux) maybeFlush() {
 		insts = append(insts, inst)
 	}
 	sort.Ints(insts)
-	merged := make([]transport.Packet, 0, len(m.pending)*m.base.N())
+	// One bump buffer carries every framed payload of the physical round
+	// (one allocation instead of one per packet); each frame is carved out
+	// with a full slice expression so an append through one carved slice
+	// can never bleed into the next frame. The buffer must be fresh every
+	// round: downstream transports retain payloads by reference (in-proc
+	// delivery, fault-injection delay queues), so the carved frames'
+	// lifetime is out of our hands the moment Exchange takes them.
+	total, packets := 0, 0
 	for _, inst := range insts {
 		for _, p := range m.pending[inst] {
+			total += uvarintLen(uint64(inst)) + len(p.Payload)
+			packets++
+		}
+	}
+	buf := make([]byte, 0, total)
+	merged := make([]transport.Packet, 0, packets)
+	for _, inst := range insts {
+		for _, p := range m.pending[inst] {
+			mark := len(buf)
+			buf = binary.AppendUvarint(buf, uint64(inst))
+			buf = append(buf, p.Payload...)
 			merged = append(merged, transport.Packet{
 				To:      p.To,
 				Tag:     p.Tag,
-				Payload: frame(inst, p.Payload),
+				Payload: buf[mark:len(buf):len(buf)],
 			})
 		}
 	}
@@ -200,12 +218,11 @@ func (n *instanceNet) Exchange(out []transport.Packet) ([]transport.Message, err
 	return n.m.exchange(n.id, out)
 }
 
-// frame prefixes a payload with its instance id.
-func frame(inst int, payload []byte) []byte {
-	w := wire.NewWriter(4 + len(payload))
-	w.Uvarint(uint64(inst))
-	w.Raw(payload)
-	return w.Finish()
+// uvarintLen returns the encoded size of v, so the round's bump buffer can
+// be sized exactly (a mid-merge regrowth would cost the allocation the
+// buffer exists to avoid).
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
 }
 
 // unframe splits a frame; ok=false on malformed input. Everything after

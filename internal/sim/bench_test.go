@@ -15,6 +15,14 @@ func BenchmarkRoundThroughput_n256(b *testing.B) {
 	benchRoundThroughput(b, 256, 85)
 }
 
+// BenchmarkRoundThroughput_n1024 is the zero-copy-era scale point: ~1M
+// messages per all-to-all round. At this n the per-message constant is
+// everything — the pooled wire path exists so this row stays flat in
+// allocs while quadrupling n over the n256 row.
+func BenchmarkRoundThroughput_n1024(b *testing.B) {
+	benchRoundThroughput(b, 1024, 341)
+}
+
 func benchRoundThroughput(b *testing.B, n, t int) {
 	b.Helper()
 	payload := make([]byte, 64)

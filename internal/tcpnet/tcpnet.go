@@ -32,11 +32,13 @@
 package tcpnet
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"convexagreement/internal/transport"
@@ -79,6 +81,16 @@ type Config struct {
 	// (128); negative disables buffering (rejoining peers with any gap
 	// are demoted to silent).
 	RejoinWindow int
+	// BorrowedReads selects the zero-copy receive path: inbound frames are
+	// decoded into pooled buffers (wire.Arena.ReadFrameInto) and the
+	// message payloads Exchange returns alias those buffers. The payloads
+	// are valid until the NEXT Exchange (or Close) call on this Conn, at
+	// which point the buffers return to the pool and their bytes are
+	// reused; a caller that retains a payload across rounds must copy it
+	// first. The default (false) copies every payload and imposes no
+	// lifetime rules — it is also the differential oracle for the
+	// borrowing decoder, so both paths always parse identically.
+	BorrowedReads bool
 }
 
 // Errors returned by the transport.
@@ -109,6 +121,26 @@ type link struct {
 	reconnecting bool
 }
 
+// inboxEntry is one peer's delivery for one round: the decoded messages
+// plus, in borrowed mode, the pooled frame their payloads alias. The frame
+// stays live while the entry sits in the inbox and through the Exchange
+// that delivers it; the next Exchange releases it (see Config.BorrowedReads
+// for the caller-facing contract).
+type inboxEntry struct {
+	msgs  []transport.Message
+	frame *wire.Frame
+}
+
+// Stats are cumulative send-side counters. Writes counts write syscalls
+// issued (each a single vectored writev via net.Buffers); FramesSent counts
+// encoded round frames shipped, replayed frames included. The ratio is the
+// batching win: a rejoin replay of G rounds is one write, not G.
+type Stats struct {
+	FramesSent uint64
+	Writes     uint64
+	BytesSent  uint64
+}
+
 // Conn is one party's handle to the TCP mesh. It implements transport.Net.
 type Conn struct {
 	cfg Config
@@ -118,15 +150,38 @@ type Conn struct {
 	cond    *sync.Cond
 	links   []link // indexed by party id; own id unused
 	inbound map[net.Conn]struct{}
-	byRound map[uint64]map[int][]transport.Message
+	byRound map[uint64]map[int]inboxEntry
 	round   uint64
 	closed  bool
 	// tails buffers the last RejoinWindow encoded round frames per peer so
-	// a rejoining peer's gap can be replayed; indexed by party id.
-	tails []map[uint64][]byte
+	// a rejoining peer's gap can be replayed; indexed by party id. The
+	// tail map owns its frames: eviction releases them. Close drops the
+	// maps without releasing — an in-flight write may still be reading a
+	// tail frame's bytes, and on teardown the GC is the safe reclaimer.
+	tails []map[uint64]*wire.Frame
+	// spent holds the pooled frames whose payloads the previous Exchange
+	// handed to the caller (borrowed mode); the next Exchange releases
+	// them, which is exactly the documented payload lifetime.
+	spent []*wire.Frame
 	// frontier is the highest round any peer has announced in a handshake —
 	// how far ahead the mesh was when this (possibly resumed) party joined.
 	frontier uint64
+
+	// arena pools frame buffers for the whole Conn: encode side (outgoing
+	// round frames, replay batches) and, in borrowed mode, decode side.
+	arena wire.Arena
+	// wmu serializes writers on one socket (the live round send vs a rejoin
+	// replay batch) so frames can never interleave mid-stream; indexed by
+	// party id. Leaf mutex: nothing but the deadline-bounded write happens
+	// under it, and Close unblocks the write by closing the conn.
+	wmu []sync.Mutex
+	// vec is the Exchange goroutine's scratch scatter-gather vector,
+	// rebuilt per peer per round so the steady state allocates nothing.
+	vec net.Buffers
+
+	framesSent atomic.Uint64
+	writes     atomic.Uint64
+	bytesSent  atomic.Uint64
 
 	listener net.Listener
 	done     chan struct{}
@@ -172,14 +227,15 @@ func Dial(cfg Config) (*Conn, error) {
 		n:        n,
 		links:    make([]link, n),
 		inbound:  make(map[net.Conn]struct{}),
-		byRound:  make(map[uint64]map[int][]transport.Message),
+		byRound:  make(map[uint64]map[int]inboxEntry),
 		round:    cfg.ResumeRound,
 		frontier: cfg.ResumeRound,
-		tails:    make([]map[uint64][]byte, n),
+		tails:    make([]map[uint64]*wire.Frame, n),
+		wmu:      make([]sync.Mutex, n),
 		done:     make(chan struct{}),
 	}
 	for j := range c.tails {
-		c.tails[j] = make(map[uint64][]byte)
+		c.tails[j] = make(map[uint64]*wire.Frame)
 	}
 	c.cond = sync.NewCond(&c.mu)
 
@@ -271,12 +327,17 @@ func (c *Conn) installLink(peer int, conn net.Conn, peerRound uint64) {
 	if peerRound > c.frontier {
 		c.frontier = peerRound
 	}
-	// Collect the replay tail under the lock; write it after release.
-	// Rounds [peerRound, c.round) are mandatory — the peer cannot close
-	// them without our frame. The current round's frame is included when
-	// already sent (its live write raced the link being down); receivers
-	// dedup per (round, peer), so overlap with the live send is harmless.
-	var replay [][]byte
+	// Coalesce the replay tail into one pooled batch frame under the lock;
+	// ship it after release as a single deadline-bounded write, so a gap of
+	// G rounds costs one write(2) instead of G and the tail frames cannot
+	// be evicted (and released) out from under the write. Rounds
+	// [peerRound, c.round) are mandatory — the peer cannot close them
+	// without our frame. The current round's frame is included when already
+	// sent (its live write raced the link being down); receivers dedup per
+	// (round, peer), so overlap with the live send is harmless.
+	var replay *wire.Frame
+	var replayFrames int
+	total := 0
 	for r := peerRound; r <= c.round; r++ {
 		f, ok := c.tails[peer][r]
 		if !ok {
@@ -295,7 +356,19 @@ func (c *Conn) installLink(peer int, conn net.Conn, peerRound uint64) {
 			conn.Close()
 			return
 		}
-		replay = append(replay, f)
+		total += f.Len()
+		replayFrames++
+	}
+	if total > 0 {
+		replay = c.arena.Buffer(total)
+		off := 0
+		for r := peerRound; r <= c.round; r++ {
+			f, ok := c.tails[peer][r]
+			if !ok {
+				break
+			}
+			off += copy(replay.Bytes()[off:], f.Bytes())
+		}
 	}
 	if l.conn != nil {
 		// The peer reconnected before we noticed the old connection die;
@@ -311,15 +384,9 @@ func (c *Conn) installLink(peer int, conn net.Conn, peerRound uint64) {
 	c.cond.Broadcast()
 	c.mu.Unlock()
 
-	for _, f := range replay {
-		if err := conn.SetWriteDeadline(time.Now().Add(c.cfg.Delta)); err != nil {
-			c.linkLost(peer, gen, err)
-			return
-		}
-		if _, err := conn.Write(f); err != nil {
-			c.linkLost(peer, gen, err)
-			return
-		}
+	if replay != nil {
+		c.writeBufs(peer, gen, conn, net.Buffers{replay.Bytes()}, replayFrames)
+		replay.Release()
 	}
 }
 
@@ -431,7 +498,14 @@ func (c *Conn) Exchange(out []transport.Packet) ([]transport.Message, error) {
 		return nil, ErrClosed
 	}
 	r := c.round
+	spent := c.spent
+	c.spent = c.spent[:0]
 	c.mu.Unlock()
+	// The previous round's borrowed payloads expire now — this is the
+	// "valid until the next Exchange call" edge of the contract.
+	for _, f := range spent {
+		f.Release()
+	}
 
 	// Group payloads per destination.
 	perDest := make([][][]byte, c.n)
@@ -449,12 +523,26 @@ func (c *Conn) Exchange(out []transport.Packet) ([]transport.Message, error) {
 		if j == c.cfg.ID {
 			continue
 		}
-		// Encode once, buffer the tail for rejoin replays, then ship. A
-		// broken peer link is that peer's problem (it goes down or
+		// Encode once into pooled memory, then ship as one vectored write.
+		// A broken peer link is that peer's problem (it goes down or
 		// silent); the round keeps going for everyone else.
-		frame := wire.EncodeFrame(r, perDest[j])
-		c.bufferTail(j, r, frame)
-		c.writeFrame(j, frame)
+		if c.cfg.RejoinWindow > 0 {
+			// Rejoin buffering needs a flat, retained copy of the frame
+			// anyway, so lay it down in one pooled buffer, hand ownership
+			// to the tail, and write that buffer.
+			frame := c.arena.EncodeFrame(r, perDest[j])
+			c.bufferTail(j, r, frame)
+			c.vec = append(c.vec[:0], frame.Bytes())
+			c.flushLink(j, c.vec, 1)
+		} else {
+			// No replay buffering: full scatter-gather — only the varint
+			// connective tissue is written into a pooled header frame, the
+			// payload bytes go to writev by reference and are never copied.
+			vec, hdr := c.arena.AppendFrameVec(c.vec[:0], r, perDest[j])
+			c.flushLink(j, vec, 1)
+			c.vec = vec[:0]
+			hdr.Release()
+		}
 	}
 
 	deadline := time.Now().Add(c.cfg.Delta)
@@ -478,13 +566,27 @@ func (c *Conn) Exchange(out []transport.Packet) ([]transport.Message, error) {
 		c.cond.Wait()
 	}
 	msgs := append([]transport.Message{}, selfMsgs...)
-	for _, peerMsgs := range c.byRound[r] {
-		msgs = append(msgs, peerMsgs...)
+	for _, e := range c.byRound[r] {
+		msgs = append(msgs, e.msgs...)
+		if e.frame != nil {
+			// Keep the pooled buffer alive for the caller; the next
+			// Exchange releases it.
+			c.spent = append(c.spent, e.frame)
+		}
 	}
 	delete(c.byRound, r)
 	c.round = r + 1
 	sortMessages(msgs)
 	return msgs, nil
+}
+
+// Stats returns cumulative send-side counters for this Conn.
+func (c *Conn) Stats() Stats {
+	return Stats{
+		FramesSent: c.framesSent.Load(),
+		Writes:     c.writes.Load(),
+		BytesSent:  c.bytesSent.Load(),
+	}
 }
 
 // expectedPeers counts peers the round should wait for: only links that are
@@ -534,9 +636,25 @@ func (c *Conn) Close() error {
 func (c *Conn) readLoop(peer int, gen uint64, conn net.Conn) {
 	defer c.wg.Done()
 	idle := c.idleTimeout()
+	// The buffered reader turns the codec's byte-at-a-time varint reads
+	// into memory reads; on a raw conn every varint byte is its own
+	// read(2) syscall (and, through the io.Reader interface, a heap
+	// allocation for the 1-byte scratch).
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var scratch [][]byte
 	for {
 		conn.SetReadDeadline(time.Now().Add(idle))
-		round, payloads, err := wire.ReadFrame(conn, maxFrame)
+		var (
+			round    uint64
+			payloads [][]byte
+			frame    *wire.Frame
+			err      error
+		)
+		if c.cfg.BorrowedReads {
+			round, payloads, frame, err = c.arena.ReadFrameInto(br, maxFrame, scratch)
+		} else {
+			round, payloads, err = wire.ReadFrame(br, maxFrame)
+		}
 		if err != nil {
 			c.linkLost(peer, gen, err)
 			return
@@ -544,6 +662,9 @@ func (c *Conn) readLoop(peer int, gen uint64, conn net.Conn) {
 		c.mu.Lock()
 		if c.closed || c.links[peer].gen != gen {
 			c.mu.Unlock()
+			if frame != nil {
+				frame.Release() // nothing retained the payloads
+			}
 			return
 		}
 		if round >= c.round { // frames for completed rounds are stale
@@ -552,14 +673,23 @@ func (c *Conn) readLoop(peer int, gen uint64, conn net.Conn) {
 				msgs = append(msgs, transport.Message{From: transport.PartyID(peer), Payload: p})
 			}
 			if c.byRound[round] == nil {
-				c.byRound[round] = make(map[int][]transport.Message)
+				c.byRound[round] = make(map[int]inboxEntry)
 			}
 			if _, dup := c.byRound[round][peer]; !dup {
-				c.byRound[round][peer] = msgs
+				c.byRound[round][peer] = inboxEntry{msgs: msgs, frame: frame}
+				frame = nil // ownership moved to the inbox
 			}
 			c.cond.Broadcast()
 		}
 		c.mu.Unlock()
+		if frame != nil {
+			// Stale round or duplicate delivery: the payloads were never
+			// handed to anyone, so the buffer goes straight back.
+			frame.Release()
+		}
+		// The payload slice headers were copied into msgs (or dropped), so
+		// the scratch array is free for the next frame.
+		scratch = payloads[:0]
 	}
 }
 
@@ -656,16 +786,20 @@ func (c *Conn) reconnectLoop(peer int) {
 	c.mu.Unlock()
 }
 
-// bufferTail records peer's encoded frame for round r and evicts rounds
-// that have slid out of the rejoin window.
-func (c *Conn) bufferTail(peer int, r uint64, frame []byte) {
-	if c.cfg.RejoinWindow <= 0 {
-		return
-	}
+// bufferTail hands ownership of peer's encoded frame for round r to the
+// rejoin tail and evicts (releasing back to the arena) rounds that have
+// slid out of the window. Eviction always trails the current round by the
+// full window, so a frame is released only long after its own write
+// completed; replay reads of tail frames happen under c.mu, which is also
+// held here, so a replay can never observe a released frame.
+func (c *Conn) bufferTail(peer int, r uint64, frame *wire.Frame) {
 	c.mu.Lock()
 	c.tails[peer][r] = frame
 	if r >= uint64(c.cfg.RejoinWindow) {
-		delete(c.tails[peer], r-uint64(c.cfg.RejoinWindow))
+		if old, ok := c.tails[peer][r-uint64(c.cfg.RejoinWindow)]; ok {
+			delete(c.tails[peer], r-uint64(c.cfg.RejoinWindow))
+			old.Release()
+		}
 	}
 	c.mu.Unlock()
 }
@@ -683,10 +817,11 @@ func (c *Conn) FrontierGap() uint64 {
 	return c.frontier - c.cfg.ResumeRound
 }
 
-// writeFrame ships one encoded round frame to peer, tolerating any link
-// state: a peer that is down or silent is simply skipped, and a write
-// failure drives the link state machine instead of failing the round.
-func (c *Conn) writeFrame(peer int, frame []byte) {
+// flushLink snapshots peer's live connection and ships the queued
+// scatter-gather pieces, tolerating any link state: a peer that is down or
+// silent is simply skipped, and a write failure drives the link state
+// machine instead of failing the round.
+func (c *Conn) flushLink(peer int, bufs net.Buffers, frames int) {
 	c.mu.Lock()
 	l := &c.links[peer]
 	if c.closed || l.state != linkUp || l.conn == nil {
@@ -695,11 +830,30 @@ func (c *Conn) writeFrame(peer int, frame []byte) {
 	}
 	conn, gen := l.conn, l.gen
 	c.mu.Unlock()
-	if err := conn.SetWriteDeadline(time.Now().Add(c.cfg.Delta)); err != nil {
-		c.linkLost(peer, gen, err)
-		return
+	c.writeBufs(peer, gen, conn, bufs, frames)
+}
+
+// writeBufs performs one vectored, Δ-deadline-bounded write of bufs on
+// conn. net.Buffers.WriteTo lowers to a single writev(2) on a TCP
+// connection, so however many frames (replay batch) or frame pieces
+// (scatter-gather encode) the vector carries, the kernel crossing is one
+// syscall. WriteTo consumes the vector, so callers rebuild bufs per call.
+func (c *Conn) writeBufs(peer int, gen uint64, conn net.Conn, bufs net.Buffers, frames int) {
+	var total uint64
+	for _, b := range bufs {
+		total += uint64(len(b))
 	}
-	if _, err := conn.Write(frame); err != nil {
+	c.wmu[peer].Lock()
+	err := conn.SetWriteDeadline(time.Now().Add(c.cfg.Delta))
+	if err == nil {
+		//calint:ignore mutexhold wmu is a per-socket leaf mutex ordering concurrent writers (live send vs rejoin replay); the write is Delta-deadline-bounded and Close unblocks it by closing the conn
+		_, err = bufs.WriteTo(conn)
+	}
+	c.wmu[peer].Unlock()
+	c.writes.Add(1)
+	c.framesSent.Add(uint64(frames))
+	c.bytesSent.Add(total)
+	if err != nil {
 		c.linkLost(peer, gen, err)
 	}
 }

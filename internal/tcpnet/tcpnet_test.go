@@ -14,7 +14,7 @@ import (
 )
 
 // newCluster binds n loopback listeners and returns ready-to-dial configs.
-func newCluster(t *testing.T, n, tc int) []tcpnet.Config {
+func newCluster(t testing.TB, n, tc int) []tcpnet.Config {
 	t.Helper()
 	addrs := make([]string, n)
 	listeners := make([]net.Listener, n)
@@ -41,7 +41,7 @@ func newCluster(t *testing.T, n, tc int) []tcpnet.Config {
 }
 
 // dialAll establishes the mesh concurrently.
-func dialAll(t *testing.T, cfgs []tcpnet.Config) []*tcpnet.Conn {
+func dialAll(t testing.TB, cfgs []tcpnet.Config) []*tcpnet.Conn {
 	t.Helper()
 	conns := make([]*tcpnet.Conn, len(cfgs))
 	errs := make([]error, len(cfgs))

@@ -1,0 +1,246 @@
+package wire
+
+// This file is the pooled frame-buffer arena behind the zero-copy wire
+// path (DESIGN.md §2.9). The copying codec in frame.go allocates a fresh
+// body per frame and a fresh slice per payload; at n ≥ 256 the transport
+// spends more time in the allocator than in the kernel. The arena removes
+// both allocations from the steady state:
+//
+//   - Encode side: Arena.EncodeFrame lays the frame down in one pooled
+//     buffer (exact-size, so the buffer never grows out of its size
+//     class), and Arena.AppendFrameVec goes further — payload bytes are
+//     never copied at all; only the varint connective tissue (length
+//     prefix, round, count, per-payload lengths) is written into a pooled
+//     header frame and the payload slices are referenced in place, ready
+//     for a scatter-gather writev (net.Buffers).
+//   - Decode side: Arena.ReadFrameInto reads the frame body into a pooled
+//     buffer and returns payload slices that alias it. One buffer per
+//     frame, zero per payload.
+//
+// Ownership contract (machine-checked by calint's bufownership analyzer):
+//
+//   - A Frame returned by an Arena method is owned by the caller until
+//     Release. Payload slices returned alongside a Frame (ReadFrameInto)
+//     or referenced by a frame vector (AppendFrameVec) alias pooled or
+//     caller-owned memory: they are valid until the Frame is released and
+//     must not be retained past that point. Callers that need a payload
+//     beyond the frame's lifetime must copy it out first.
+//   - Release returns the buffer to the pool for reuse by any goroutine;
+//     releasing a frame twice, or touching its bytes after Release, is a
+//     bug of the same severity as a use-after-free (the race detector
+//     sees concurrent reuse; TestFrameAliasAfterRelease pins the
+//     single-thread aliasing behavior).
+//   - The copying ReadFrame/EncodeFrame pair remains the reference
+//     implementation: FuzzReadFrameInto holds the two decoders
+//     byte-identical on every input, so the borrowing path can never
+//     drift from the fail-closed semantics of the oracle.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+	"sync"
+)
+
+// arenaMinClass is the smallest pooled buffer (256 B): below protocol
+// payload sizes, above the slack where pooling would just shuffle tiny
+// slices. arenaClasses spans 256 B .. 64 MiB (= maxFrame), one power of
+// two per class.
+const (
+	arenaMinShift = 8
+	arenaMaxShift = 26
+	arenaClasses  = arenaMaxShift - arenaMinShift + 1
+)
+
+// Arena is a sync.Pool-backed allocator of Frame buffers in power-of-two
+// size classes. The zero value is ready to use; an Arena may be shared by
+// any number of goroutines. Frames do not remember which goroutine got
+// them — Release from a different goroutine than Get is fine (that is the
+// transport's normal send/read split).
+type Arena struct {
+	pools [arenaClasses]sync.Pool
+}
+
+// Frame is one pooled buffer holding an encoded frame (or a decoded frame
+// body). Bytes is valid until Release; see the package ownership contract
+// above.
+type Frame struct {
+	arena    *Arena
+	class    int
+	released bool
+	buf      []byte
+}
+
+// Bytes returns the frame's encoded bytes. The slice aliases pooled
+// memory: it is invalidated by Release.
+func (f *Frame) Bytes() []byte { return f.buf }
+
+// Len returns the frame's encoded length in bytes.
+func (f *Frame) Len() int { return len(f.buf) }
+
+// Release returns the frame's buffer to its arena for reuse. It must be
+// called exactly once; a second Release panics rather than silently
+// corrupting whichever frame has since been handed the same buffer. The
+// Frame header is pooled together with its buffer, so a steady-state
+// get→Release cycle allocates nothing.
+func (f *Frame) Release() {
+	if f.released {
+		panic("wire: Frame released twice")
+	}
+	f.released = true
+	if f.arena == nil {
+		f.buf = nil // oversize frame, plain allocation: let the GC have it
+		return
+	}
+	f.arena.pools[f.class].Put(f)
+}
+
+// frame returns a Frame with a buffer of length n. The buffer contents
+// are unspecified (callers overwrite them).
+func (a *Arena) frame(n int) *Frame {
+	class := sizeClass(n)
+	if class < 0 {
+		// Beyond the largest class (oversize byzantine-adjacent frames):
+		// plain allocation, Release drops it.
+		return &Frame{arena: nil, class: -1, buf: make([]byte, n)}
+	}
+	if f, ok := a.pools[class].Get().(*Frame); ok {
+		f.released = false
+		f.buf = f.buf[:n]
+		return f
+	}
+	return &Frame{arena: a, class: class, buf: make([]byte, n, 1<<(class+arenaMinShift))}
+}
+
+// sizeClass maps a byte count to its pool index, or -1 when n exceeds the
+// largest class.
+func sizeClass(n int) int {
+	if n <= 1<<arenaMinShift {
+		return 0
+	}
+	class := bits.Len(uint(n-1)) - arenaMinShift
+	if class >= arenaClasses {
+		return -1
+	}
+	return class
+}
+
+// Buffer returns a pooled frame with an n-byte buffer for the caller to
+// fill. The transport's rejoin replay path uses it to coalesce a gap of
+// already-encoded tail frames into one contiguous write without leaving
+// the pooled-memory regime.
+func (a *Arena) Buffer(n int) *Frame { return a.frame(n) }
+
+// uvarintLen returns the encoded size of v.
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// frameBodyLen returns the exact encoded body size of a frame.
+func frameBodyLen(round uint64, payloads [][]byte) int {
+	n := uvarintLen(round) + uvarintLen(uint64(len(payloads)))
+	for _, p := range payloads {
+		n += uvarintLen(uint64(len(p))) + len(p)
+	}
+	return n
+}
+
+// EncodeFrame serializes one round frame, length prefix included, into a
+// pooled buffer: the allocation-free counterpart of the package-level
+// EncodeFrame. The returned frame's bytes are exactly what EncodeFrame
+// would have produced (TestArenaEncodeMatchesReference pins this).
+func (a *Arena) EncodeFrame(round uint64, payloads [][]byte) *Frame {
+	body := frameBodyLen(round, payloads)
+	f := a.frame(uvarintLen(uint64(body)) + body)
+	b := f.buf[:0]
+	b = binary.AppendUvarint(b, uint64(body))
+	b = binary.AppendUvarint(b, round)
+	b = binary.AppendUvarint(b, uint64(len(payloads)))
+	for _, p := range payloads {
+		b = binary.AppendUvarint(b, uint64(len(p)))
+		b = append(b, p...)
+	}
+	f.buf = b
+	return f
+}
+
+// AppendFrameVec encodes a frame as a scatter-gather vector instead of a
+// flat buffer: the varint pieces (length prefix, round, count, and each
+// payload's length prefix) are laid down in one pooled header frame, and
+// the payload slices themselves are appended to vec by reference — zero
+// copies of payload bytes. The appended slices concatenate to exactly the
+// package-level EncodeFrame output, so a net.Buffers writev of vec is
+// indistinguishable on the wire from a flat write.
+//
+// Ownership: vec's new entries alias both the returned header frame and
+// the caller's payload slices. The vector must be fully written (or
+// abandoned) before the header frame is released or any payload is
+// mutated.
+func (a *Arena) AppendFrameVec(vec [][]byte, round uint64, payloads [][]byte) ([][]byte, *Frame) {
+	body := frameBodyLen(round, payloads)
+	hdrLen := uvarintLen(uint64(body)) + uvarintLen(round) + uvarintLen(uint64(len(payloads)))
+	for _, p := range payloads {
+		hdrLen += uvarintLen(uint64(len(p)))
+	}
+	f := a.frame(hdrLen)
+	b := f.buf[:0]
+	b = binary.AppendUvarint(b, uint64(body))
+	b = binary.AppendUvarint(b, round)
+	b = binary.AppendUvarint(b, uint64(len(payloads)))
+	// Each vector entry pairs the pending varint piece (frame header for
+	// the first, then each payload's length prefix) with the payload it
+	// precedes; a frame with no payloads is a single header piece.
+	mark := 0
+	for _, p := range payloads {
+		b = binary.AppendUvarint(b, uint64(len(p)))
+		vec = append(vec, b[mark:len(b):len(b)], p)
+		mark = len(b)
+	}
+	if mark < len(b) {
+		vec = append(vec, b[mark:len(b):len(b)])
+	}
+	f.buf = b
+	return vec, f
+}
+
+// ReadFrameInto reads one frame from r into a pooled buffer and returns
+// payload slices that alias it: the borrowing counterpart of the
+// package-level ReadFrame. scratch, when non-nil, is reused for the
+// payload slice headers (pass the previous call's payloads to make the
+// steady state allocation-free). The caller owns the returned frame and
+// must Release it once the payloads are no longer needed; on error the
+// frame has already been released and the returned *Frame is nil.
+//
+// Error discipline is identical to ReadFrame: structural violations wrap
+// ErrFrame, I/O errors pass through unwrapped.
+func (a *Arena) ReadFrameInto(r io.Reader, maxFrame uint64, scratch [][]byte) (round uint64, payloads [][]byte, f *Frame, err error) {
+	size, err := readUvarintAny(r)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if size > maxFrame {
+		return 0, nil, nil, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrFrame, size, maxFrame)
+	}
+	f = a.frame(int(size))
+	if _, err := io.ReadFull(r, f.buf); err != nil {
+		f.Release()
+		return 0, nil, nil, err
+	}
+	rd := Reader{buf: f.buf}
+	round = rd.Uvarint()
+	count := rd.Int()
+	if rd.Err() != nil || count > MaxFramePayloads {
+		f.Release()
+		return 0, nil, nil, fmt.Errorf("%w: bad header", ErrFrame)
+	}
+	payloads = scratch[:0]
+	for i := 0; i < count; i++ {
+		payloads = append(payloads, rd.BytesZC())
+	}
+	if err := rd.Close(); err != nil {
+		f.Release()
+		return 0, nil, nil, fmt.Errorf("%w: %v", ErrFrame, err)
+	}
+	return round, payloads, f, nil
+}

@@ -104,3 +104,37 @@ func ReadUvarint(r io.Reader) (uint64, error) {
 	}
 	return 0, fmt.Errorf("%w: overlong varint", ErrFrame)
 }
+
+// readUvarintByte is ReadUvarint over an io.ByteReader. Semantics are
+// byte-for-byte identical (same 10-byte cap, same silent truncation of
+// overflowing high bits, same error classification); the point is purely
+// mechanical: reading through the io.Reader interface forces the 1-byte
+// scratch to escape — one heap allocation and, on an unbuffered net.Conn,
+// one read(2) syscall per varint byte. The borrowing decode path hands
+// frames through here via a buffered reader instead.
+func readUvarintByte(br io.ByteReader) (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < 10; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+	return 0, fmt.Errorf("%w: overlong varint", ErrFrame)
+}
+
+// readUvarintAny picks the allocation-free ByteReader path when the
+// stream supports it (bytes.Reader, bufio.Reader) and falls back to the
+// interface path otherwise.
+func readUvarintAny(r io.Reader) (uint64, error) {
+	if br, ok := r.(io.ByteReader); ok {
+		return readUvarintByte(br)
+	}
+	return ReadUvarint(r)
+}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -65,6 +66,48 @@ func FuzzReadFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadFrameInto holds the borrowing decoder differentially equal to
+// the copying oracle on every input: identical error classification
+// (ErrFrame vs I/O vs clean), identical round, and byte-identical
+// payloads. The arena path re-reads each input twice so pooled-buffer
+// reuse across iterations is exercised under the fuzzer.
+func FuzzReadFrameInto(f *testing.F) {
+	f.Add(EncodeFrame(0, nil))
+	f.Add(EncodeFrame(3, [][]byte{[]byte("x")}))
+	f.Add(EncodeFrame(1<<40, [][]byte{[]byte("alpha"), {}, []byte("beta")}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 16))
+
+	const limit = 1 << 16
+	var arena Arena
+	var scratch [][]byte
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		wantRound, wantPayloads, wantErr := ReadFrame(bytes.NewReader(raw), limit)
+		gotRound, gotPayloads, frame, gotErr := arena.ReadFrameInto(bytes.NewReader(raw), limit, scratch)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error divergence: oracle %v, borrowing %v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if errorsIsFrame(wantErr) != errorsIsFrame(gotErr) {
+				t.Fatalf("error class divergence: oracle %v, borrowing %v", wantErr, gotErr)
+			}
+			return
+		}
+		defer frame.Release()
+		if gotRound != wantRound || len(gotPayloads) != len(wantPayloads) {
+			t.Fatalf("shape divergence: round %d/%d, %d/%d payloads", gotRound, wantRound, len(gotPayloads), len(wantPayloads))
+		}
+		for i := range gotPayloads {
+			if !bytes.Equal(gotPayloads[i], wantPayloads[i]) {
+				t.Fatalf("payload %d diverged", i)
+			}
+		}
+		scratch = gotPayloads[:0]
+	})
+}
+
+func errorsIsFrame(err error) bool { return errors.Is(err, ErrFrame) }
 
 // FuzzRoundTrip checks encode∘decode identity on fuzzer-chosen field
 // values.

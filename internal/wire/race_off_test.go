@@ -1,0 +1,8 @@
+//go:build !race
+
+package wire
+
+// raceEnabled reports whether the race detector is active: sync.Pool is
+// deliberately leaky under -race (the detector drops pooled items to find
+// bugs), so allocation-count assertions only hold in normal builds.
+const raceEnabled = false

@@ -32,6 +32,11 @@ func NewWriter(sizeHint int) *Writer {
 	return &Writer{buf: make([]byte, 0, sizeHint)}
 }
 
+// Reset points the Writer at buf (length zeroed, capacity kept), so an
+// encode loop can reuse one backing array — typically a pooled Frame's —
+// instead of allocating per message. The previous contents are abandoned.
+func (w *Writer) Reset(buf []byte) { w.buf = buf[:0] }
+
 // Byte appends a single byte.
 func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
 
@@ -112,6 +117,27 @@ func (r *Reader) Bytes() []byte {
 	}
 	out := make([]byte, n)
 	copy(out, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out
+}
+
+// BytesZC reads a length-prefixed byte slice without copying: the result
+// aliases the Reader's underlying buffer. It is the borrow variant of
+// Bytes for call sites that consume the payload immediately (hash it,
+// compare it, convert it to a string) and never retain it — retaining the
+// result pins the whole message buffer, and when that buffer is a pooled
+// wire.Frame, outlives it (see arena.go's ownership contract). Callers
+// that keep the bytes must use Bytes.
+func (r *Reader) BytesZC() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxChunk || int(n) > len(r.buf)-r.off {
+		r.fail("chunk of %d bytes exceeds message", n)
+		return nil
+	}
+	out := r.buf[r.off : r.off+int(n) : r.off+int(n)]
 	r.off += int(n)
 	return out
 }

@@ -26,8 +26,12 @@ go run ./cmd/calint ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (root, sim, rs, gf16, pool, merkle, tcpnet, channet, faultnet, mux, asyncnet, checkpoint, supervisor)"
-go test -race -short . ./internal/sim/... ./internal/rs/... ./internal/gf16/... ./internal/pool/... ./internal/merkle/... ./internal/tcpnet/... ./internal/channet/... ./internal/faultnet/... ./internal/mux/... ./internal/asyncnet/... ./internal/checkpoint/... ./internal/supervisor/...
+echo "== go test -race (root, sim, rs, gf16, pool, merkle, wire, tcpnet, channet, faultnet, mux, asyncnet, checkpoint, supervisor)"
+go test -race -short . ./internal/sim/... ./internal/rs/... ./internal/gf16/... ./internal/pool/... ./internal/merkle/... ./internal/wire/... ./internal/tcpnet/... ./internal/channet/... ./internal/faultnet/... ./internal/mux/... ./internal/asyncnet/... ./internal/checkpoint/... ./internal/supervisor/...
+
+echo "== cross-compile (arm64: NEON gf16 kernel + wire path must keep building)"
+GOARCH=arm64 GOOS=linux go build ./...
+GOARCH=arm64 GOOS=linux go vet ./internal/gf16/ ./internal/wire/
 
 echo "== bench-json chain guard"
 # The newest perf-trajectory record must be chained: `make bench-json` emits
@@ -41,8 +45,19 @@ if ! grep -q '"before"' "$latest"; then
 	exit 1
 fi
 
-echo "== go test -fuzz smoke (wire frames, baplus tuples, checkpoint WAL)"
-go test -run '^$' -fuzz FuzzReadFrame -fuzztime 5s ./internal/wire/
+echo "== allocs/op regression guard (zero-copy frame path must stay at 0)"
+# Re-measure the pooled frame round-trip and compare allocs/op against the
+# checked-in record. Allocation counts are deterministic, so this gates
+# without flaking; a regression here means the zero-copy path grew a hidden
+# allocation.
+go test -run '^$' -bench 'BenchmarkFrameRoundTrip' -benchtime 100x -benchmem ./internal/wire/ \
+	| go run ./cmd/benchjson -before "$latest" -guard-allocs 'FrameRoundTrip' > /dev/null
+
+echo "== go test -fuzz smoke (wire frames x2, baplus tuples, checkpoint WAL)"
+# FuzzReadFrame and FuzzReadFrameInto share a prefix; go test refuses a -fuzz
+# pattern matching more than one target, so each needs an anchored pattern.
+go test -run '^$' -fuzz 'FuzzReadFrame$' -fuzztime 5s ./internal/wire/
+go test -run '^$' -fuzz 'FuzzReadFrameInto$' -fuzztime 5s ./internal/wire/
 go test -run '^$' -fuzz FuzzDecode -fuzztime 5s ./internal/baplus/
 go test -run '^$' -fuzz FuzzInspectState -fuzztime 5s ./internal/checkpoint/
 
