@@ -39,7 +39,7 @@ bench-json:
 	( $(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) ; \
 	  $(GO) test -run '^$$' -bench BenchmarkE18_CrashRecovery -benchtime 3x -benchmem . ; \
 	  $(GO) test -run '^$$' -bench BenchmarkSweepN1024 -benchtime 1x -benchmem . ) \
-		| $(GO) run ./cmd/benchjson -before BENCH_PR4.json > BENCH_PR5.json
+		| $(GO) run ./cmd/benchjson -before BENCH_PR5.json > BENCH_PR6.json
 
 # Capture CPU and heap profiles for the headline decode benchmark (override
 # PROFILE_BENCH/PROFILE_PKG to profile something else). go test drops the
@@ -61,6 +61,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run '^$$' -fuzz 'FuzzReadFrameInto$$' -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzAdmission -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/baplus/
 	$(GO) test -run '^$$' -fuzz FuzzInspectState -fuzztime $(FUZZTIME) ./internal/checkpoint/
 

@@ -165,6 +165,7 @@ func runSupervised(id int, addrs []string, t int, protoName string, width int,
 		}
 		for seq := s.Seq(); seq < uint64(instances); seq++ {
 			a.ReportPeers(len(addrs) - len(tr.Faulty()))
+			a.ReportDemotions(tr.Demotions())
 			out, err := s.Agree(ca.Protocol(protoName), width, instanceInput(input, int(seq)))
 			if err != nil {
 				return err

@@ -92,6 +92,7 @@ func All(quick bool) []Table {
 		E16DispersalAblation(quick),
 		E17FaultSweep(quick),
 		E18CrashRecovery(quick),
+		E19IngressSweep(quick),
 	}
 }
 
@@ -134,6 +135,8 @@ func ByID(id string, quick bool) (Table, error) {
 		return E17FaultSweep(quick), nil
 	case "E18":
 		return E18CrashRecovery(quick), nil
+	case "E19":
+		return E19IngressSweep(quick), nil
 	default:
 		return Table{}, fmt.Errorf("experiments: unknown experiment %q", id)
 	}

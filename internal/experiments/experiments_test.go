@@ -70,3 +70,24 @@ func TestByIDUnknown(t *testing.T) {
 		t.Error("unknown id accepted")
 	}
 }
+
+// TestE19IngressQuick gates the active-adversary sweep in CI: every quick
+// scenario must report agreement, validity, and seed-exact replay under
+// live flood, oversize, and burst attacks.
+func TestE19IngressQuick(t *testing.T) {
+	tbl, err := experiments.ByID("E19", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("E19 produced no rows")
+	}
+	for _, row := range tbl.Rows {
+		// columns: scenario n t agree validity replay rounds
+		for _, cell := range row[3:6] {
+			if cell != "ok" {
+				t.Errorf("E19 %s n=%s: %v", row[0], row[1], row)
+			}
+		}
+	}
+}

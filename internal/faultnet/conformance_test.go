@@ -36,22 +36,31 @@ func TestConformance(t *testing.T) {
 // TestConformanceFaults runs the fault-tolerance battery over the wrapped
 // transport: injected-fault machinery must not break graceful degradation.
 func TestConformanceFaults(t *testing.T) {
-	transporttest.ConformanceFaults(t, func(t *testing.T, n, tc int, fns []func(net transport.Net, leave func()) error) {
-		t.Helper()
-		hub, err := channet.NewHub(n, tc)
-		if err != nil {
-			t.Fatal(err)
+	transporttest.ConformanceFaults(t, faultCluster)
+}
+
+// TestConformanceIngress runs the flood battery through the fault-injection
+// wrapper: flood pressure and injected-fault machinery must compose without
+// disturbing honest rounds.
+func TestConformanceIngress(t *testing.T) {
+	transporttest.ConformanceIngress(t, faultCluster)
+}
+
+func faultCluster(t *testing.T, n, tc int, fns []func(net transport.Net, leave func()) error) {
+	t.Helper()
+	hub, err := channet.NewHub(n, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faultnet.Plan{Seed: 2}
+	wrapped := make([]func(net transport.Net) error, n)
+	for i := range fns {
+		id, fn := i, fns[i]
+		wrapped[i] = func(net transport.Net) error {
+			return fn(faultnet.Wrap(net, plan), func() { hub.Disconnect(id) })
 		}
-		plan := &faultnet.Plan{Seed: 2}
-		wrapped := make([]func(net transport.Net) error, n)
-		for i := range fns {
-			id, fn := i, fns[i]
-			wrapped[i] = func(net transport.Net) error {
-				return fn(faultnet.Wrap(net, plan), func() { hub.Disconnect(id) })
-			}
-		}
-		if err := hub.Run(wrapped); err != nil {
-			t.Fatal(err)
-		}
-	})
+	}
+	if err := hub.Run(wrapped); err != nil {
+		t.Fatal(err)
+	}
 }

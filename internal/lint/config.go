@@ -22,6 +22,7 @@ var (
 		"internal/tcpnet",
 		"internal/supervisor",
 		"internal/faultnet",
+		"internal/netattack",
 	}
 
 	// driverPkgs are CLI entry points and runnable examples.

@@ -46,6 +46,14 @@ type Mux struct {
 	inboxes   map[int][]transport.Message
 	gen       uint64
 	err       error
+
+	// inboxBound caps one instance's inbox for one physical round; 0 means
+	// unbounded, negative means "default" (64·n, resolved against the base
+	// transport at flush time). When an inbox is full the oldest message
+	// from its heaviest sender is shed (see shedInto) so a flooding peer
+	// displaces its own traffic, never an honest neighbor's.
+	inboxBound int
+	shed       uint64
 }
 
 // New creates a composition of the given number of instances.
@@ -54,14 +62,37 @@ func New(base transport.Net, instances int) (*Mux, error) {
 		return nil, fmt.Errorf("mux: need at least one instance, got %d", instances)
 	}
 	m := &Mux{
-		base:      base,
-		instances: instances,
-		live:      instances,
-		pending:   make(map[int][]transport.Packet, instances),
-		inboxes:   make(map[int][]transport.Message, instances),
+		base:       base,
+		instances:  instances,
+		live:       instances,
+		pending:    make(map[int][]transport.Packet, instances),
+		inboxes:    make(map[int][]transport.Message, instances),
+		inboxBound: -1, // default: 64·n, resolved at flush time
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m, nil
+}
+
+// SetInboxBound caps each instance's per-round inbox at bound messages
+// (0 or negative removes the cap). The default is 64·n. Call before any
+// instance exchanges; the bound is backpressure against a flooding peer
+// starving its neighbors' instances, not a correctness knob — honest
+// traffic is one message per sender per instance per round, far under any
+// sane bound.
+func (m *Mux) SetInboxBound(bound int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if bound <= 0 {
+		bound = 0
+	}
+	m.inboxBound = bound
+}
+
+// Shed reports how many messages have been shed by the inbox bound.
+func (m *Mux) Shed() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shed
 }
 
 // Net returns instance i's virtual transport. Each virtual net must be
@@ -187,13 +218,33 @@ func (m *Mux) maybeFlush() {
 		m.cond.Broadcast()
 		return
 	}
+	bound := m.inboxBound
+	if bound < 0 {
+		bound = 64 * m.base.N()
+	}
 	inboxes := make(map[int][]transport.Message, m.live)
+	var counts map[int][]int // per instance: messages held per sender
+	if bound > 0 {
+		counts = make(map[int][]int, m.live)
+	}
 	for _, msg := range in {
 		inst, payload, ok := unframe(msg.Payload)
 		if !ok || inst >= m.instances {
 			continue // undecodable or out-of-range byzantine frame
 		}
-		inboxes[inst] = append(inboxes[inst], transport.Message{From: msg.From, Payload: payload})
+		delivered := transport.Message{From: msg.From, Payload: payload}
+		if bound > 0 && len(inboxes[inst]) >= bound {
+			if counts[inst] == nil {
+				counts[inst] = senderCounts(inboxes[inst], m.base.N())
+			}
+			inboxes[inst] = shedInto(inboxes[inst], counts[inst], delivered)
+			m.shed++
+			continue
+		}
+		inboxes[inst] = append(inboxes[inst], delivered)
+		if counts != nil && counts[inst] != nil && int(msg.From) < len(counts[inst]) {
+			counts[inst][msg.From]++
+		}
 	}
 	m.inboxes = inboxes
 	m.pending = make(map[int][]transport.Packet, m.live)
@@ -223,6 +274,48 @@ func (n *instanceNet) Exchange(out []transport.Packet) ([]transport.Message, err
 // buffer exists to avoid).
 func uvarintLen(v uint64) int {
 	return (bits.Len64(v|1) + 6) / 7
+}
+
+// senderCounts tallies how many messages each sender holds in box, so the
+// shed policy can identify the heaviest sender. Built lazily: honest
+// rounds never hit the bound and never pay for the tally.
+func senderCounts(box []transport.Message, n int) []int {
+	counts := make([]int, n)
+	for _, msg := range box {
+		if int(msg.From) < n {
+			counts[msg.From]++
+		}
+	}
+	return counts
+}
+
+// shedInto applies the shed-oldest-from-faulty policy to a full inbox:
+// the heaviest sender (most messages held; ties break to the lowest id,
+// keeping the policy deterministic for replay) is presumed the flooder.
+// If the incoming message's own sender is at least as heavy, the incoming
+// message is the flood and is dropped; otherwise the heaviest sender's
+// oldest message is evicted to make room. Either way exactly one message
+// is shed, so one flooding session degrades itself, not its neighbors.
+func shedInto(box []transport.Message, counts []int, msg transport.Message) []transport.Message {
+	heavy := 0
+	for s := 1; s < len(counts); s++ {
+		if counts[s] > counts[heavy] {
+			heavy = s
+		}
+	}
+	from := int(msg.From)
+	if from >= len(counts) || counts[from] >= counts[heavy] {
+		return box // drop the incoming message
+	}
+	for i, held := range box {
+		if int(held.From) == heavy {
+			box = append(box[:i], box[i+1:]...)
+			break
+		}
+	}
+	counts[heavy]--
+	counts[from]++
+	return append(box, msg)
 }
 
 // unframe splits a frame; ok=false on malformed input. Everything after

@@ -24,6 +24,7 @@ package supervisor
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -90,6 +91,12 @@ type Health struct {
 	// LivePeers is the party's last reported live-peer count (own party
 	// included); -1 if never reported.
 	LivePeers int
+	// Demotions is the party's last reported ingress-demotion tally, keyed
+	// by structured reason (e.g. "rate", "budget", "stall"); nil if never
+	// reported. A party demoting peers for rate or budget is under active
+	// resource attack — the overload signal an operator reads first when a
+	// run degrades.
+	Demotions map[string]int
 	// LastErr is the error that ended the final attempt, nil on success.
 	LastErr error
 }
@@ -99,8 +106,23 @@ func (h Health) String() string {
 	if h.LastErr != nil {
 		last = h.LastErr.Error()
 	}
-	return fmt.Sprintf("attempts=%d stalls=%d last_round=%d live_peers=%d last_err=%s",
-		h.Attempts, h.Stalls, h.LastRound, h.LivePeers, last)
+	s := fmt.Sprintf("attempts=%d stalls=%d last_round=%d live_peers=%d",
+		h.Attempts, h.Stalls, h.LastRound, h.LivePeers)
+	if len(h.Demotions) > 0 {
+		reasons := make([]string, 0, len(h.Demotions))
+		for r := range h.Demotions {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		s += " demotions="
+		for i, r := range reasons {
+			if i > 0 {
+				s += ","
+			}
+			s += fmt.Sprintf("%s:%d", r, h.Demotions[r])
+		}
+	}
+	return s + " last_err=" + last
 }
 
 // HealthError is a terminal supervisor error with the final Health report.
@@ -119,10 +141,11 @@ type Attempt struct {
 	// Number of this attempt, starting at 0.
 	Number int
 
-	mu       sync.Mutex
-	progress func() uint64 // round counter probe
-	abort    func()        // tears the party's transport down on stall
-	live     int
+	mu        sync.Mutex
+	progress  func() uint64 // round counter probe
+	abort     func()        // tears the party's transport down on stall
+	live      int
+	demotions map[string]int
 }
 
 // Progress registers the round-counter probe the watchdog polls; the party
@@ -151,10 +174,32 @@ func (a *Attempt) ReportPeers(live int) {
 	a.mu.Unlock()
 }
 
+// ReportDemotions records this party's cumulative ingress-demotion tally,
+// keyed by structured reason — typically built from tcpnet's
+// Stats().Demotions. The latest report is surfaced in Health as the
+// overload signal: demotions for "rate" or "budget" mean the mesh is under
+// active resource attack, which reframes any accompanying stall or quorum
+// failure. The map is copied; callers may reuse theirs.
+func (a *Attempt) ReportDemotions(byReason map[string]int) {
+	copied := make(map[string]int, len(byReason))
+	for r, c := range byReason {
+		copied[r] = c
+	}
+	a.mu.Lock()
+	a.demotions = copied
+	a.mu.Unlock()
+}
+
 func (a *Attempt) snapshot() (func() uint64, func(), int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.progress, a.abort, a.live
+}
+
+func (a *Attempt) demotionReport() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.demotions
 }
 
 // Run drives party under the watchdog until it succeeds, the restart
@@ -177,6 +222,9 @@ func Run(cfg Config, party func(*Attempt) error) (Health, error) {
 		}
 		if probe, _, _ := a.snapshot(); probe != nil {
 			health.LastRound = probe()
+		}
+		if d := a.demotionReport(); d != nil {
+			health.Demotions = d
 		}
 		health.LastErr = err
 		if stalled {

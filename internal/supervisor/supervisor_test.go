@@ -2,6 +2,7 @@ package supervisor
 
 import (
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -166,5 +167,53 @@ func TestProgressKeepsPartyAlive(t *testing.T) {
 	}
 	if h.Stalls != 0 {
 		t.Errorf("stalls = %d, want 0", h.Stalls)
+	}
+}
+
+func TestReportDemotionsSurfaced(t *testing.T) {
+	reported := map[string]int{"rate": 2, "budget": 1}
+	h, err := Run(fastCfg(), func(a *Attempt) error {
+		a.ReportDemotions(reported)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Demotions["rate"] != 2 || h.Demotions["budget"] != 1 {
+		t.Fatalf("Demotions = %v, want rate:2 budget:1", h.Demotions)
+	}
+	// The report is a copy: caller mutations after the fact must not leak in.
+	reported["rate"] = 99
+	if h.Demotions["rate"] != 2 {
+		t.Fatal("ReportDemotions aliases the caller's map")
+	}
+	// The overload tally renders deterministically (sorted by reason).
+	if want := "demotions=budget:1,rate:2"; !strings.Contains(h.String(), want) {
+		t.Fatalf("Health.String() = %q, want it to contain %q", h.String(), want)
+	}
+}
+
+func TestReportDemotionsKeptFromFailedAttempt(t *testing.T) {
+	// A party that dies mid-attack still leaves its overload signal in the
+	// terminal health report.
+	var runs atomic.Int32
+	_, err := Run(Config{
+		Delta:       2 * time.Millisecond,
+		StallRounds: 4,
+		MaxRestarts: 1,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+	}, func(a *Attempt) error {
+		if runs.Add(1) == 1 {
+			a.ReportDemotions(map[string]int{"stall": 1})
+		}
+		return errors.New("boom")
+	})
+	var he *HealthError
+	if !errors.As(err, &he) {
+		t.Fatalf("want *HealthError, got %v", err)
+	}
+	if he.Health.Demotions["stall"] != 1 {
+		t.Fatalf("Demotions = %v, want stall:1 carried across attempts", he.Health.Demotions)
 	}
 }

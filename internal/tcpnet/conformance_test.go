@@ -35,27 +35,37 @@ func TestConformance(t *testing.T) {
 // the stall case actually blows the synchrony bound; a party's departure is
 // a hard connection close, as a crashed process would produce.
 func TestConformanceFaults(t *testing.T) {
-	transporttest.ConformanceFaults(t, func(t *testing.T, n, tc int, fns []func(net transport.Net, leave func()) error) {
-		t.Helper()
-		cfgs := newCluster(t, n, tc)
-		for i := range cfgs {
-			cfgs[i].Delta = 300 * time.Millisecond
+	transporttest.ConformanceFaults(t, faultCluster)
+}
+
+// TestConformanceIngress runs the flood battery over a real TCP mesh:
+// packet- and byte-level floods from one party must ride within the
+// default admission budget (they are loud, not hostile) while honest
+// rounds stay exact.
+func TestConformanceIngress(t *testing.T) {
+	transporttest.ConformanceIngress(t, faultCluster)
+}
+
+func faultCluster(t *testing.T, n, tc int, fns []func(net transport.Net, leave func()) error) {
+	t.Helper()
+	cfgs := newCluster(t, n, tc)
+	for i := range cfgs {
+		cfgs[i].Delta = 300 * time.Millisecond
+	}
+	conns := dialAll(t, cfgs)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fns[i](conns[i], func() { conns[i].Close() })
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("party %d: %v", i, err)
 		}
-		conns := dialAll(t, cfgs)
-		errs := make([]error, n)
-		var wg sync.WaitGroup
-		for i := 0; i < n; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				errs[i] = fns[i](conns[i], func() { conns[i].Close() })
-			}(i)
-		}
-		wg.Wait()
-		for i, err := range errs {
-			if err != nil {
-				t.Fatalf("party %d: %v", i, err)
-			}
-		}
-	})
+	}
 }

@@ -35,8 +35,10 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -91,6 +93,26 @@ type Config struct {
 	// lifetime rules — it is also the differential oracle for the
 	// borrowing decoder, so both paths always parse identically.
 	BorrowedReads bool
+	// Budget bounds what each peer may send this party: per-frame bytes
+	// plus a round-clock token bucket over frames and bytes, enforced
+	// before any pooled-buffer allocation (see wire.Budget). nil applies
+	// wire.DefaultBudget(maxFrame, RejoinWindow) — the structural frame
+	// bound with burst capacity covering a full rejoin replay. A peer that
+	// exceeds its budget is demoted to Faulty() with a structured reason
+	// (Stats.Demotions).
+	Budget *wire.Budget
+	// HelloBurst caps handshake attempts per remote host for the lifetime
+	// of this Conn, so an unauthenticated dialer cannot churn the accept
+	// path for free. 0 means the default (64 + 8n, generous because every
+	// local test shares one host); negative disables the cap.
+	HelloBurst int
+	// RoundHorizon bounds how many rounds ahead of this party's current
+	// round an inbound frame may be buffered; frames beyond it are dropped
+	// (not a demotion — an honest fast peer can legitimately run ahead of
+	// a stalled party, but unbounded buffering would let a hostile one
+	// park frames at absurd round numbers forever). 0 means the default
+	// (RejoinWindow + 64); negative disables the bound.
+	RoundHorizon int
 }
 
 // Errors returned by the transport.
@@ -101,6 +123,18 @@ var (
 
 // maxFrame bounds a single round frame from one peer (64 MiB).
 const maxFrame = 64 << 20
+
+// helloMaxBytes bounds the pre-handshake hello read: two uvarints (id,
+// round) encode in at most 20 bytes, and an unauthenticated dialer gets
+// not one byte more — the structural maxFrame limit is for peers that
+// have already identified themselves.
+const helloMaxBytes = 24
+
+// maxHelloRound rejects absurd round announcements in a hello the same way
+// absurd ids are rejected: an honest resume round is bounded by real
+// execution history, so the top bits being set means a hostile dialer is
+// probing the rejoin-replay machinery.
+const maxHelloRound = 1 << 62
 
 // linkState tracks one pairwise connection's health.
 type linkState uint8
@@ -131,14 +165,39 @@ type inboxEntry struct {
 	frame *wire.Frame
 }
 
-// Stats are cumulative send-side counters. Writes counts write syscalls
-// issued (each a single vectored writev via net.Buffers); FramesSent counts
-// encoded round frames shipped, replayed frames included. The ratio is the
-// batching win: a rejoin replay of G rounds is one write, not G.
+// Demotion records one peer's demotion to silent: who, why (the
+// structured ingress verdict), and at which local round it happened.
+type Demotion struct {
+	Peer   int
+	Reason wire.Reason
+	Round  uint64
+}
+
+// PeerStats is one peer's ingress accounting: the admission counters
+// (frames/bytes admitted, frames rejected) plus its demotion reason —
+// wire.ReasonNone while the peer is live.
+type PeerStats struct {
+	Peer int
+	wire.AdmissionCounters
+	Demoted wire.Reason
+}
+
+// Stats are cumulative counters. Writes counts write syscalls issued (each
+// a single vectored writev via net.Buffers); FramesSent counts encoded
+// round frames shipped, replayed frames included — the ratio is the
+// batching win: a rejoin replay of G rounds is one write, not G. The
+// ingress side reports hellos refused by the per-host handshake cap,
+// frames dropped beyond the round horizon, every demotion with its
+// structured reason, and per-peer admission counters; Demotions and Peers
+// are sorted by party id.
 type Stats struct {
-	FramesSent uint64
-	Writes     uint64
-	BytesSent  uint64
+	FramesSent     uint64
+	Writes         uint64
+	BytesSent      uint64
+	HellosRejected uint64
+	FramesDropped  uint64
+	Demotions      []Demotion
+	Peers          []PeerStats
 }
 
 // Conn is one party's handle to the TCP mesh. It implements transport.Net.
@@ -166,6 +225,21 @@ type Conn struct {
 	// frontier is the highest round any peer has announced in a handshake —
 	// how far ahead the mesh was when this (possibly resumed) party joined.
 	frontier uint64
+	// demotions records every peer demoted to silent with its structured
+	// reason, in demotion order (Stats returns them sorted by peer).
+	demotions []Demotion
+	// helloCount counts handshake attempts per remote host so HelloBurst
+	// can refuse churn from an unauthenticated dialer.
+	helloCount map[string]int
+
+	// adm is the per-peer ingress gate (indexed by party id; own id nil).
+	// It lives on the Conn, not the read loop, so budgets persist across
+	// reconnects — otherwise handshake churn would reset them, which is
+	// exactly the attack.
+	adm []*wire.Admission
+	// roundNow mirrors c.round for the read loops' admission Advance
+	// calls, which must not take c.mu on the per-frame fast path.
+	roundNow atomic.Uint64
 
 	// arena pools frame buffers for the whole Conn: encode side (outgoing
 	// round frames, replay batches) and, in borrowed mode, decode side.
@@ -179,9 +253,11 @@ type Conn struct {
 	// rebuilt per peer per round so the steady state allocates nothing.
 	vec net.Buffers
 
-	framesSent atomic.Uint64
-	writes     atomic.Uint64
-	bytesSent  atomic.Uint64
+	framesSent     atomic.Uint64
+	writes         atomic.Uint64
+	bytesSent      atomic.Uint64
+	hellosRejected atomic.Uint64
+	framesDropped  atomic.Uint64
 
 	listener net.Listener
 	done     chan struct{}
@@ -222,21 +298,45 @@ func Dial(cfg Config) (*Conn, error) {
 	case cfg.RejoinWindow < 0:
 		cfg.RejoinWindow = 0 // disabled
 	}
+	switch {
+	case cfg.HelloBurst == 0:
+		cfg.HelloBurst = 64 + 8*n
+	case cfg.HelloBurst < 0:
+		cfg.HelloBurst = 0 // disabled
+	}
+	switch {
+	case cfg.RoundHorizon == 0:
+		cfg.RoundHorizon = cfg.RejoinWindow + 64
+	case cfg.RoundHorizon < 0:
+		cfg.RoundHorizon = 0 // disabled
+	}
 	c := &Conn{
-		cfg:      cfg,
-		n:        n,
-		links:    make([]link, n),
-		inbound:  make(map[net.Conn]struct{}),
-		byRound:  make(map[uint64]map[int]inboxEntry),
-		round:    cfg.ResumeRound,
-		frontier: cfg.ResumeRound,
-		tails:    make([]map[uint64]*wire.Frame, n),
-		wmu:      make([]sync.Mutex, n),
-		done:     make(chan struct{}),
+		cfg:        cfg,
+		n:          n,
+		links:      make([]link, n),
+		inbound:    make(map[net.Conn]struct{}),
+		byRound:    make(map[uint64]map[int]inboxEntry),
+		round:      cfg.ResumeRound,
+		frontier:   cfg.ResumeRound,
+		tails:      make([]map[uint64]*wire.Frame, n),
+		wmu:        make([]sync.Mutex, n),
+		helloCount: make(map[string]int),
+		adm:        make([]*wire.Admission, n),
+		done:       make(chan struct{}),
 	}
 	for j := range c.tails {
 		c.tails[j] = make(map[uint64]*wire.Frame)
 	}
+	budget := wire.DefaultBudget(maxFrame, cfg.RejoinWindow)
+	if cfg.Budget != nil {
+		budget = *cfg.Budget
+	}
+	for j := range c.adm {
+		if j != cfg.ID {
+			c.adm[j] = wire.NewAdmission(budget)
+		}
+	}
+	c.roundNow.Store(cfg.ResumeRound)
 	c.cond = sync.NewCond(&c.mu)
 
 	ln := cfg.Listener
@@ -350,6 +450,7 @@ func (c *Conn) installLink(peer int, conn net.Conn, peerRound uint64) {
 				l.conn = nil
 			}
 			l.state = linkSilent
+			c.recordDemotionLocked(peer, wire.ReasonHandshake)
 			l.gen++
 			c.cond.Broadcast()
 			c.mu.Unlock()
@@ -409,12 +510,22 @@ func (c *Conn) acceptLoop(ln net.Listener) {
 // (id, current round) — so a rejoining party learns the mesh frontier and
 // peers learn what outbox tail to replay.
 func (c *Conn) handleInbound(conn net.Conn) {
+	host := helloHost(conn)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		conn.Close()
 		return
 	}
+	if c.cfg.HelloBurst > 0 && c.helloCount[host] >= c.cfg.HelloBurst {
+		// Handshake churn from this host has exhausted its lifetime cap;
+		// drop the connection before reading a byte of hello.
+		c.mu.Unlock()
+		c.hellosRejected.Add(1)
+		conn.Close()
+		return
+	}
+	c.helloCount[host]++
 	c.inbound[conn] = struct{}{} // so Close can unblock the handshake read
 	c.mu.Unlock()
 	deadline := time.Now().Add(c.cfg.DialTimeout)
@@ -425,6 +536,9 @@ func (c *Conn) handleInbound(conn net.Conn) {
 	round := c.round
 	c.mu.Unlock()
 	if closed || err != nil || id <= c.cfg.ID || id >= c.n {
+		if !closed {
+			c.hellosRejected.Add(1)
+		}
 		conn.Close()
 		return
 	}
@@ -576,17 +690,40 @@ func (c *Conn) Exchange(out []transport.Packet) ([]transport.Message, error) {
 	}
 	delete(c.byRound, r)
 	c.round = r + 1
+	c.roundNow.Store(r + 1) // release the round clock to the read loops' gates
 	sortMessages(msgs)
 	return msgs, nil
 }
 
-// Stats returns cumulative send-side counters for this Conn.
+// Stats returns cumulative counters for this Conn. Demotions and Peers
+// are sorted by party id.
 func (c *Conn) Stats() Stats {
-	return Stats{
-		FramesSent: c.framesSent.Load(),
-		Writes:     c.writes.Load(),
-		BytesSent:  c.bytesSent.Load(),
+	s := Stats{
+		FramesSent:     c.framesSent.Load(),
+		Writes:         c.writes.Load(),
+		BytesSent:      c.bytesSent.Load(),
+		HellosRejected: c.hellosRejected.Load(),
+		FramesDropped:  c.framesDropped.Load(),
 	}
+	c.mu.Lock()
+	s.Demotions = append(s.Demotions, c.demotions...)
+	c.mu.Unlock()
+	sort.Slice(s.Demotions, func(i, j int) bool { return s.Demotions[i].Peer < s.Demotions[j].Peer })
+	demoted := make(map[int]wire.Reason, len(s.Demotions))
+	for _, d := range s.Demotions {
+		demoted[d.Peer] = d.Reason
+	}
+	for j := 0; j < c.n; j++ {
+		if j == c.cfg.ID {
+			continue
+		}
+		s.Peers = append(s.Peers, PeerStats{
+			Peer:              j,
+			AdmissionCounters: c.adm[j].Counters(),
+			Demoted:           demoted[j],
+		})
+	}
+	return s
 }
 
 // expectedPeers counts peers the round should wait for: only links that are
@@ -636,14 +773,22 @@ func (c *Conn) Close() error {
 func (c *Conn) readLoop(peer int, gen uint64, conn net.Conn) {
 	defer c.wg.Done()
 	idle := c.idleTimeout()
+	// The counting wrapper lets a deadline expiry be classified: bytes
+	// consumed mid-frame mean the peer is alive but trickling (slow-loris,
+	// demotable), no bytes at all mean the connection is presumed dead
+	// (reconnectable).
+	src := &countingReader{conn: conn}
 	// The buffered reader turns the codec's byte-at-a-time varint reads
 	// into memory reads; on a raw conn every varint byte is its own
 	// read(2) syscall (and, through the io.Reader interface, a heap
 	// allocation for the 1-byte scratch).
-	br := bufio.NewReaderSize(conn, 64<<10)
+	br := bufio.NewReaderSize(src, 64<<10)
+	gate := c.adm[peer]
 	var scratch [][]byte
 	for {
 		conn.SetReadDeadline(time.Now().Add(idle))
+		gate.Advance(c.roundNow.Load())
+		consumed := src.n - int64(br.Buffered())
 		var (
 			round    uint64
 			payloads [][]byte
@@ -651,11 +796,18 @@ func (c *Conn) readLoop(peer int, gen uint64, conn net.Conn) {
 			err      error
 		)
 		if c.cfg.BorrowedReads {
-			round, payloads, frame, err = c.arena.ReadFrameInto(br, maxFrame, scratch)
+			round, payloads, frame, err = c.arena.ReadFrameIntoGated(br, maxFrame, scratch, gate)
 		} else {
-			round, payloads, err = wire.ReadFrame(br, maxFrame)
+			round, payloads, err = wire.ReadFrameGated(br, maxFrame, gate)
 		}
 		if err != nil {
+			if isTimeout(err) && src.n-int64(br.Buffered()) > consumed {
+				// The deadline expired with partial-frame progress: the peer
+				// is alive and trickling, not dead. (A dead peer mid-frame
+				// surfaces as io.ErrUnexpectedEOF — an I/O error — so only
+				// live connections can earn the stall verdict.)
+				err = wire.StallError(fmt.Sprintf("mid-frame trickle past the %v read deadline", idle))
+			}
 			c.linkLost(peer, gen, err)
 			return
 		}
@@ -667,7 +819,16 @@ func (c *Conn) readLoop(peer int, gen uint64, conn net.Conn) {
 			}
 			return
 		}
-		if round >= c.round { // frames for completed rounds are stale
+		horizon := uint64(c.cfg.RoundHorizon)
+		switch {
+		case round < c.round: // frames for completed rounds are stale
+		case horizon > 0 && round-c.round > horizon:
+			// Beyond the buffering horizon: drop, don't demote — an honest
+			// fast peer can legitimately run ahead of a stalled party, but
+			// holding frames for it unboundedly would hand a hostile one a
+			// memory lever.
+			c.framesDropped.Add(1)
+		default:
 			msgs := make([]transport.Message, 0, len(payloads))
 			for _, p := range payloads {
 				msgs = append(msgs, transport.Message{From: transport.PartyID(peer), Payload: p})
@@ -693,6 +854,28 @@ func (c *Conn) readLoop(peer int, gen uint64, conn net.Conn) {
 	}
 }
 
+// countingReader counts bytes the connection has delivered, so the read
+// loop can measure per-frame progress. It is touched only by the one read
+// loop that owns it (bufio fills and the post-error check run on the same
+// goroutine), so the counter needs no synchronization.
+type countingReader struct {
+	conn net.Conn
+	n    int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.conn.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// isTimeout reports whether err is a read-deadline expiry (as opposed to a
+// reset, EOF, or protocol violation).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // idleTimeout is how long a connection may sit without a complete frame
 // before it is presumed dead. Every live peer sends every round, so normal
 // traffic arrives at least once per Δ; 8Δ of silence (floored at 2s so
@@ -706,9 +889,10 @@ func (c *Conn) idleTimeout() time.Duration {
 }
 
 // linkLost transitions a link out of up after a read or write failure on
-// generation gen. Frame-protocol violations demote the peer to silent for
-// the run; I/O failures mark it down and, on the dialing side, kick off
-// reconnection.
+// generation gen. Frame-protocol violations (wire.ErrFrame) and ingress
+// verdicts (wire.ErrAdmission: budget, rate, stall) demote the peer to
+// silent for the run with a structured reason; I/O failures mark the link
+// down and, on the dialing side, kick off reconnection.
 func (c *Conn) linkLost(peer int, gen uint64, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -721,8 +905,17 @@ func (c *Conn) linkLost(peer int, gen uint64, err error) {
 		l.conn = nil
 	}
 	l.gen++
-	if errors.Is(err, wire.ErrFrame) {
+	reason := wire.ReasonNone
+	var aerr *wire.AdmissionError
+	switch {
+	case errors.As(err, &aerr):
+		reason = aerr.Reason
+	case errors.Is(err, wire.ErrFrame):
+		reason = wire.ReasonProtocol
+	}
+	if reason != wire.ReasonNone {
 		l.state = linkSilent
+		c.recordDemotionLocked(peer, reason)
 	} else {
 		l.state = linkDown
 		if peer < c.cfg.ID && c.cfg.ReconnectAttempts > 0 && !l.reconnecting {
@@ -731,6 +924,31 @@ func (c *Conn) linkLost(peer int, gen uint64, err error) {
 		}
 	}
 	c.cond.Broadcast()
+}
+
+// recordDemotionLocked appends the structured verdict for a peer's
+// transition to silent and purges the peer's buffered future-round frames.
+// The purge matters under attack: a flooder pre-delivers frames for many
+// rounds before it trips the rate limiter, and if those stayed buffered
+// they would both count toward round completion (closing rounds before
+// honest frames arrive) and be delivered rounds after the sender was
+// judged hostile. Caller holds c.mu; the link state machine admits at
+// most one such transition per peer.
+func (c *Conn) recordDemotionLocked(peer int, reason wire.Reason) {
+	c.demotions = append(c.demotions, Demotion{Peer: peer, Reason: reason, Round: c.round})
+	for r, entries := range c.byRound {
+		e, ok := entries[peer]
+		if !ok {
+			continue
+		}
+		if e.frame != nil {
+			e.frame.Release()
+		}
+		delete(entries, peer)
+		if len(entries) == 0 {
+			delete(c.byRound, r)
+		}
+	}
 }
 
 // reconnectLoop re-dials a down peer with exponential backoff and jitter.
@@ -781,6 +999,7 @@ func (c *Conn) reconnectLoop(peer int) {
 	l.reconnecting = false
 	if !c.closed && l.state == linkDown {
 		l.state = linkSilent
+		c.recordDemotionLocked(peer, wire.ReasonUnreachable)
 	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
@@ -873,16 +1092,19 @@ func writeHello(conn net.Conn, id int, round uint64, deadline time.Time) error {
 	return err
 }
 
-// readHello reads one direction of the (id, round) handshake.
+// readHello reads one direction of the (id, round) handshake. The read is
+// bounded to helloMaxBytes — an unauthenticated dialer never triggers a
+// larger read — and absurd id or round announcements are rejected.
 func readHello(conn net.Conn, deadline time.Time) (int, uint64, error) {
 	if err := conn.SetReadDeadline(deadline); err != nil {
 		return 0, 0, err
 	}
-	v, err := wire.ReadUvarint(conn)
+	lr := io.LimitReader(conn, helloMaxBytes)
+	v, err := wire.ReadUvarint(lr)
 	if err != nil {
 		return 0, 0, err
 	}
-	round, err := wire.ReadUvarint(conn)
+	round, err := wire.ReadUvarint(lr)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -892,7 +1114,20 @@ func readHello(conn net.Conn, deadline time.Time) (int, uint64, error) {
 	if v > 1<<20 {
 		return 0, 0, fmt.Errorf("tcpnet: absurd peer id %d", v)
 	}
+	if round > maxHelloRound {
+		return 0, 0, fmt.Errorf("tcpnet: absurd hello round %d", round)
+	}
 	return int(v), round, nil
+}
+
+// helloHost extracts the remote host (sans port) for the per-host
+// handshake cap; every reconnect from one machine shares one count.
+func helloHost(conn net.Conn) string {
+	addr := conn.RemoteAddr().String()
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		return host
+	}
+	return addr
 }
 
 func sortMessages(msgs []transport.Message) {

@@ -215,12 +215,27 @@ func (a *Arena) AppendFrameVec(vec [][]byte, round uint64, payloads [][]byte) ([
 // Error discipline is identical to ReadFrame: structural violations wrap
 // ErrFrame, I/O errors pass through unwrapped.
 func (a *Arena) ReadFrameInto(r io.Reader, maxFrame uint64, scratch [][]byte) (round uint64, payloads [][]byte, f *Frame, err error) {
+	return a.ReadFrameIntoGated(r, maxFrame, scratch, nil)
+}
+
+// ReadFrameIntoGated is ReadFrameInto with an admission gate consulted
+// between the announced length field and the pooled-buffer allocation —
+// the borrowing counterpart of ReadFrameGated, with the same ordering
+// (structural maxFrame bound first, then the gate) and the same error
+// discipline (gate errors pass through unwrapped). A nil gate admits
+// everything.
+func (a *Arena) ReadFrameIntoGated(r io.Reader, maxFrame uint64, scratch [][]byte, gate Gate) (round uint64, payloads [][]byte, f *Frame, err error) {
 	size, err := readUvarintAny(r)
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	if size > maxFrame {
 		return 0, nil, nil, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrFrame, size, maxFrame)
+	}
+	if gate != nil {
+		if err := gate.AdmitFrame(size); err != nil {
+			return 0, nil, nil, err
+		}
 	}
 	f = a.frame(int(size))
 	if _, err := io.ReadFull(r, f.buf); err != nil {

@@ -58,12 +58,28 @@ func EncodeFrame(round uint64, payloads [][]byte) []byte {
 // announced size fails with ErrFrame before any allocation. I/O errors are
 // returned as-is.
 func ReadFrame(r io.Reader, maxFrame uint64) (round uint64, payloads [][]byte, err error) {
+	return ReadFrameGated(r, maxFrame, nil)
+}
+
+// ReadFrameGated is ReadFrame with an admission gate consulted between the
+// announced length field and the body allocation: a frame the gate refuses
+// costs the reader nothing but the length varint. The structural maxFrame
+// bound is checked first (an absurd length is a protocol violation, not a
+// budget question); gate errors — *AdmissionError wrapping ErrAdmission —
+// pass through unwrapped so transports can demote with the gate's reason.
+// A nil gate admits everything.
+func ReadFrameGated(r io.Reader, maxFrame uint64, gate Gate) (round uint64, payloads [][]byte, err error) {
 	size, err := ReadUvarint(r)
 	if err != nil {
 		return 0, nil, err
 	}
 	if size > maxFrame {
 		return 0, nil, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrFrame, size, maxFrame)
+	}
+	if gate != nil {
+		if err := gate.AdmitFrame(size); err != nil {
+			return 0, nil, err
+		}
 	}
 	body := make([]byte, size)
 	if _, err := io.ReadFull(r, body); err != nil {

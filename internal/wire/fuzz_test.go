@@ -109,6 +109,58 @@ func FuzzReadFrameInto(f *testing.F) {
 
 func errorsIsFrame(err error) bool { return errors.Is(err, ErrFrame) }
 
+// FuzzAdmission streams arbitrary bytes through the gated decoders under a
+// fuzzer-chosen budget: the admission validator must never panic, must
+// never let cumulative admitted traffic exceed the bucket capacities, and
+// must classify every failure as exactly one of I/O, protocol (ErrFrame),
+// or admission (ErrAdmission). The borrowing and copying gated paths are
+// held differentially equal on identical gate state.
+func FuzzAdmission(f *testing.F) {
+	f.Add(EncodeFrame(0, nil), uint64(1<<10), uint64(2), uint64(3))
+	f.Add(EncodeFrame(3, [][]byte{[]byte("x")}), uint64(1), uint64(1), uint64(1))
+	f.Add(bytes.Repeat([]byte{0xff}, 32), uint64(64), uint64(4), uint64(2))
+	big := EncodeFrame(1, [][]byte{bytes.Repeat([]byte("b"), 4096)})
+	f.Add(append(big, big...), uint64(512), uint64(8), uint64(8))
+
+	const limit = 1 << 16
+	var arena Arena
+	f.Fuzz(func(t *testing.T, raw []byte, frameBytes, roundFrames, burst uint64) {
+		b := Budget{
+			FrameBytes:  frameBytes%(1<<12) + 1,
+			RoundFrames: roundFrames%16 + 1,
+			BurstRounds: burst%16 + 1,
+		}
+		gate := NewAdmission(b)
+		oracle := NewAdmission(b)
+		frameCap, byteCap := gate.budget.capacities()
+		r := bytes.NewReader(raw)
+		ro := bytes.NewReader(raw)
+		for {
+			_, _, frame, err := arena.ReadFrameIntoGated(r, limit, nil, gate)
+			_, _, oerr := ReadFrameGated(ro, limit, oracle)
+			if (err == nil) != (oerr == nil) ||
+				errors.Is(err, ErrAdmission) != errors.Is(oerr, ErrAdmission) ||
+				errorsIsFrame(err) != errorsIsFrame(oerr) {
+				t.Fatalf("gated path divergence: borrowing %v, copying %v", err, oerr)
+			}
+			if err != nil {
+				break
+			}
+			frame.Release()
+		}
+		c := gate.Counters()
+		if c.FramesAdmitted > frameCap {
+			t.Fatalf("admitted %d frames, capacity %d", c.FramesAdmitted, frameCap)
+		}
+		if c.BytesAdmitted > byteCap {
+			t.Fatalf("admitted %d bytes, capacity %d", c.BytesAdmitted, byteCap)
+		}
+		if oc := oracle.Counters(); oc != c {
+			t.Fatalf("counter divergence: borrowing %+v, copying %+v", c, oc)
+		}
+	})
+}
+
 // FuzzRoundTrip checks encode∘decode identity on fuzzer-chosen field
 // values.
 func FuzzRoundTrip(f *testing.F) {

@@ -3,7 +3,9 @@ package convexagreement_test
 import (
 	"math/big"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	ca "convexagreement"
@@ -152,5 +154,101 @@ func TestSoakFaultnet(t *testing.T) {
 		if ref.Cmp(big.NewInt(lo)) < 0 || ref.Cmp(big.NewInt(hi)) > 0 {
 			t.Fatalf("trial %d: output %v outside clean band [%d, %d]", trial, ref, lo, hi)
 		}
+	}
+}
+
+// TestSoakKillFlood is the combined-pressure soak: an n=7, t=2 cluster
+// where one corrupt party crashes a few rounds in and the other floods
+// duplicate traffic at everyone for the whole run. The five honest parties
+// must reach agreement with convex validity inside the round limit, and
+// the flood must not pin memory: retained heap after the run stays under a
+// per-party budget.
+func TestSoakKillFlood(t *testing.T) {
+	const (
+		n, tc           = 7, 2
+		crasher         = n - 2 // goes dark after two rounds
+		flooder         = n - 1 // floods until the honest parties finish
+		maxRounds       = 4000
+		heapBudgetParty = 8 << 20 // bytes of retained heap per in-process party
+	)
+	inputs := make([]*big.Int, n)
+	for i := range inputs {
+		inputs[i] = big.NewInt(990 + int64(i))
+	}
+	locals, err := ca.NewLocalCluster(n, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ca.FaultConfig{Seed: 2028, MaxRounds: maxRounds}
+
+	var honestDone atomic.Int32
+	outs := make([]*big.Int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer locals[i].Close()
+			switch i {
+			case crasher:
+				for r := 0; r < 2; r++ {
+					if _, err := locals[i].Exchange(nil); err != nil {
+						return
+					}
+				}
+			case flooder:
+				rng := rand.New(rand.NewSource(2029))
+				for r := 0; r < maxRounds && honestDone.Load() < n-2; r++ {
+					payload := make([]byte, 24)
+					rng.Read(payload)
+					out := make([]ca.Packet, 0, 12*n)
+					for to := 0; to < n; to++ {
+						for c := 0; c < 12; c++ {
+							out = append(out, ca.Packet{To: to, Tag: "adv", Payload: payload})
+						}
+					}
+					if _, err := locals[i].Exchange(out); err != nil {
+						return
+					}
+				}
+			default:
+				tr, werr := ca.WrapFaulty(locals[i], cfg)
+				if werr != nil {
+					errs[i] = werr
+					honestDone.Add(1)
+					return
+				}
+				outs[i], errs[i] = ca.RunParty(tr, ca.ProtoOptimal, 0, inputs[i])
+				honestDone.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var ref *big.Int
+	for i := 0; i < n-2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("honest party %d under kill+flood: %v", i, errs[i])
+		}
+		if ref == nil {
+			ref = outs[i]
+		} else if outs[i].Cmp(ref) != 0 {
+			t.Fatalf("honest parties disagree under kill+flood: %v vs %v", ref, outs[i])
+		}
+	}
+	if ref.Cmp(inputs[0]) < 0 || ref.Cmp(inputs[n-3]) > 0 {
+		t.Fatalf("output %v escaped the honest hull [%v, %v]", ref, inputs[0], inputs[n-3])
+	}
+
+	// The flood is gone; anything it forced the cluster to hold must be
+	// reclaimable now.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > uint64(n)*heapBudgetParty {
+		t.Fatalf("retained heap %d MiB exceeds %d MiB budget (%d MiB/party × %d)",
+			ms.HeapAlloc>>20, uint64(n)*heapBudgetParty>>20, heapBudgetParty>>20, n)
 	}
 }

@@ -192,6 +192,23 @@ func (t *TCPTransport) Exchange(out []Packet) ([]Message, error) {
 // attempts — ordered by party id.
 func (t *TCPTransport) Faulty() []int { return t.conn.Faulty() }
 
+// Demotions tallies this party's peer demotions by structured reason
+// ("budget", "rate", "stall", "protocol", "handshake", "unreachable").
+// A nonzero "rate" or "budget" count is the overload signal: the mesh is
+// under active resource attack, not merely flaky. Feed it to a supervisor
+// via Attempt.ReportDemotions so terminal health reports carry it.
+func (t *TCPTransport) Demotions() map[string]int {
+	s := t.conn.Stats()
+	if len(s.Demotions) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(s.Demotions))
+	for _, d := range s.Demotions {
+		out[d.Reason.String()]++
+	}
+	return out
+}
+
 // FrontierGap reports how many rounds ahead of this party's ResumeRound the
 // mesh was when it (re)joined — the restart-to-rejoin latency in rounds.
 func (t *TCPTransport) FrontierGap() uint64 { return t.conn.FrontierGap() }
