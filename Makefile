@@ -5,7 +5,7 @@ GO ?= go
 .PHONY: all build vet lint test race bench bench-json profile fuzz ci experiments examples cover clean
 
 # Benchmarks that feed the perf-trajectory record (see bench-json).
-BENCH_PKGS = ./internal/gf16/ ./internal/rs/ ./internal/sim/ ./internal/merkle/ ./internal/baplus/ ./internal/wire/ ./internal/tcpnet/
+BENCH_PKGS = ./internal/gf16/ ./internal/rs/ ./internal/sim/ ./internal/merkle/ ./internal/baplus/ ./internal/wire/ ./internal/tcpnet/ ./internal/checkpoint/
 
 all: build vet test
 
@@ -39,7 +39,7 @@ bench-json:
 	( $(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) ; \
 	  $(GO) test -run '^$$' -bench BenchmarkE18_CrashRecovery -benchtime 3x -benchmem . ; \
 	  $(GO) test -run '^$$' -bench BenchmarkSweepN1024 -benchtime 1x -benchmem . ) \
-		| $(GO) run ./cmd/benchjson -before BENCH_PR5.json > BENCH_PR6.json
+		| $(GO) run ./cmd/benchjson -before BENCH_PR6.json > BENCH_PR7.json
 
 # Capture CPU and heap profiles for the headline decode benchmark (override
 # PROFILE_BENCH/PROFILE_PKG to profile something else). go test drops the
@@ -53,8 +53,9 @@ profile:
 	@echo "profiles: cpu.prof mem.prof (inspect with: $(GO) tool pprof cpu.prof)"
 
 # Short fuzzing smoke over the panic-free decode surfaces: the stream frame
-# codec (copying and borrowing decoders), the Π_ℓBA+ tuple decoder, and the
-# checkpoint WAL replay. Raise FUZZTIME for a real campaign. The wire
+# codec (copying and borrowing decoders), the Π_ℓBA+ tuple decoder, the
+# checkpoint WAL replay, and the mirrored-WAL scrub/repair pass. Raise
+# FUZZTIME for a real campaign. The wire
 # patterns are anchored because go test refuses a -fuzz pattern that matches
 # more than one target.
 FUZZTIME ?= 10s
@@ -64,6 +65,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzAdmission -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/baplus/
 	$(GO) test -run '^$$' -fuzz FuzzInspectState -fuzztime $(FUZZTIME) ./internal/checkpoint/
+	$(GO) test -run '^$$' -fuzz FuzzScrub -fuzztime $(FUZZTIME) ./internal/checkpoint/
 
 # Minimal CI entry point (vet + build + tests + race on the perf-critical
 # packages); scripts/ci.sh is the same thing for environments without make.

@@ -18,7 +18,15 @@
 // resumes from the log, redials the mesh announcing its resume round, and
 // peers replay the missed rounds from their buffered outbox tails. -instances
 // runs a session of several agreement instances (inputs offset by instance
-// number) instead of a single one.
+// number) instead of a single one. -mirror keeps two WAL copies with voting
+// repair, surviving single-copy bit rot.
+//
+// Storage is validated before the mesh is dialed: a missing/unwritable
+// state directory, an unrecoverable WAL, or state recorded for a different
+// (n, t) geometry exits immediately with code 5. Storage that degrades
+// MID-run does not kill the party — it keeps participating with
+// checkpointing disabled (liveness preserved, crash recovery forfeited)
+// and the condition is reported in the supervisor health line.
 package main
 
 import (
@@ -50,6 +58,7 @@ func run() int {
 		dialTO     = flag.Duration("dial-timeout", 15*time.Second, "time to wait for the full mesh")
 		supervised = flag.Bool("supervised", false, "checkpoint every round and restart from the log on stall or error (requires -statedir)")
 		stateDir   = flag.String("statedir", "", "directory for the write-ahead log (supervised mode)")
+		mirror     = flag.Bool("mirror", false, "supervised mode: keep a dual-copy write-ahead log; single-copy damage (bit rot included) is voted out and repaired")
 		instances  = flag.Int("instances", 1, "number of sequential agreement instances in the session")
 		restarts   = flag.Int("max-restarts", 3, "supervised mode: restart budget before giving up")
 		stallR     = flag.Int("stall-rounds", 8, "supervised mode: rounds of no progress before an attempt is declared stalled")
@@ -79,9 +88,13 @@ func run() int {
 		return 2
 	}
 
+	if !*supervised && *mirror {
+		fmt.Fprintln(os.Stderr, "catcp: -mirror requires -supervised")
+		return 2
+	}
 	if *supervised {
 		return runSupervised(*id, addrs, *t, *protoName, *width, input,
-			*delta, *dialTO, *stateDir, *instances, *restarts, *stallR)
+			*delta, *dialTO, *stateDir, *instances, *restarts, *stallR, *mirror)
 	}
 
 	fmt.Fprintf(os.Stderr, "catcp: party %d/%d listening on %s, dialing mesh...\n", *id, len(addrs), addrs[*id])
@@ -125,8 +138,20 @@ func instanceInput(base *big.Int, seq int) *big.Int {
 // round, and replays the log before touching the live network.
 func runSupervised(id int, addrs []string, t int, protoName string, width int,
 	input *big.Int, delta, dialTO time.Duration,
-	stateDir string, instances, restarts, stallRounds int) int {
+	stateDir string, instances, restarts, stallRounds int, mirror bool) int {
 	start := time.Now()
+	storage := ca.StorageOptions{Mirror: mirror}
+
+	// Fail fast on an unusable state directory BEFORE dialing the mesh:
+	// missing and uncreatable, unwritable, corrupt beyond recovery, or
+	// holding a different mesh's (n, t) state all end here with a typed
+	// error — not three restart attempts deep with peers already counting
+	// this party as live.
+	if _, err := ca.ValidateStateDir(stateDir, len(addrs), t, storage); err != nil {
+		fmt.Fprintf(os.Stderr, "catcp: state directory rejected: %v\n", err)
+		return 5
+	}
+
 	outs := make([]*big.Int, instances)
 	health, err := supervisor.Run(supervisor.Config{
 		Delta:       delta,
@@ -135,7 +160,7 @@ func runSupervised(id int, addrs []string, t int, protoName string, width int,
 		N:           len(addrs),
 		T:           t,
 	}, func(a *supervisor.Attempt) error {
-		st, err := ca.InspectState(stateDir)
+		st, err := ca.InspectStateOpts(stateDir, storage)
 		if err != nil {
 			return err
 		}
@@ -155,18 +180,30 @@ func runSupervised(id int, addrs []string, t int, protoName string, width int,
 		defer tr.Close()
 		a.AbortOnStall(func() { tr.Close() })
 		s := ca.NewSession(tr)
-		if err := s.Resume(stateDir); err != nil {
+		if err := s.ResumeOpts(stateDir, storage); err != nil {
 			return err
 		}
 		defer s.Close()
 		a.Progress(s.Rounds)
+		a.ReportStorage(s.StorageErr()) // mirrored open may already be degraded
 		if gap := tr.FrontierGap(); gap > 0 {
 			fmt.Fprintf(os.Stderr, "catcp: rejoined a mesh %d rounds ahead\n", gap)
 		}
+		storageNoted := s.StorageErr() != nil
 		for seq := s.Seq(); seq < uint64(instances); seq++ {
 			a.ReportPeers(len(addrs) - len(tr.Faulty()))
 			a.ReportDemotions(tr.Demotions())
 			out, err := s.Agree(ca.Protocol(protoName), width, instanceInput(input, int(seq)))
+			if serr := s.StorageErr(); serr != nil {
+				// Degrade-and-continue: the party stays in the mesh with
+				// checkpointing impaired or disabled. Liveness is preserved;
+				// a crash from here on cannot be resumed.
+				a.ReportStorage(serr)
+				if !storageNoted {
+					storageNoted = true
+					fmt.Fprintf(os.Stderr, "catcp: storage degraded, continuing without recovery: %v\n", serr)
+				}
+			}
 			if err != nil {
 				return err
 			}
@@ -182,6 +219,8 @@ func runSupervised(id int, addrs []string, t int, protoName string, width int,
 			return 3
 		case errors.Is(err, supervisor.ErrStalled), errors.Is(err, supervisor.ErrRestartsExhausted):
 			return 4
+		case errors.Is(err, supervisor.ErrStorageLost):
+			return 5
 		}
 		return 1
 	}

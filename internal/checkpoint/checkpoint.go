@@ -14,7 +14,8 @@
 // recorded inboxes reproduces the party's outbound traffic and internal
 // state bit-for-bit without serializing any protocol internals.
 //
-// Record framing (append-only, single file "wal" in the directory):
+// Record framing (append-only, single file "wal" in the directory; a
+// second copy "wal2" in mirrored mode):
 //
 //	uvarint  body length
 //	body     (wire-encoded record, first byte is the record kind)
@@ -23,7 +24,19 @@
 // Replay is torn-write tolerant: a truncated or CRC-damaged tail (the
 // record being appended when the process died) is discarded and the file is
 // truncated back to the last intact record. Corruption *before* the tail is
-// a hard error — that is a damaged disk, not a torn write.
+// indistinguishable from a tail under sequential scanning, so a single-copy
+// log silently keeps the intact prefix — prefix-consistent, never divergent
+// — while the mirrored mode recovers the longer prefix from the surviving
+// copy (last-good-record voting, see Scrub) and repairs the damaged one.
+//
+// Storage discipline (hardened by the internal/errfs crash-point
+// explorer): every append is fsync'd before being reported durable; the
+// state DIRECTORY is fsync'd after the WAL is created (a crash right
+// after create can otherwise lose the file entry itself, data and all)
+// and after a torn-tail truncation is written back. All file operations
+// go through an errfs.FS seam — the default is the real filesystem at
+// zero overhead; tests swap in errfs.Mem to inject short writes, torn
+// writes, fsync lies, bit rot, EIO, and ENOSPC at every operation.
 //
 // Record kinds:
 //
@@ -34,6 +47,7 @@
 package checkpoint
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -42,17 +56,62 @@ import (
 	"os"
 	"path/filepath"
 
+	"convexagreement/internal/errfs"
 	"convexagreement/internal/transport"
 	"convexagreement/internal/wire"
 )
 
 // Errors returned by the checkpoint layer.
 var (
-	// ErrCorrupt reports WAL damage that is not a torn tail — a record in
-	// the middle of the file failed its CRC or decoded inconsistently.
+	// ErrCorrupt reports WAL damage that is not a torn tail — a record
+	// decoded inconsistently (structurally impossible sequences, not CRC
+	// noise).
 	ErrCorrupt = errors.New("checkpoint: corrupt write-ahead log")
 	// ErrClosed reports an append to a closed log.
 	ErrClosed = errors.New("checkpoint: log closed")
+	// ErrStorageDegraded reports that durability is impaired but the party
+	// can keep running: an append failed (or, in mirrored mode, one copy
+	// failed and the log fell back to the survivor). A session that sees
+	// this from an append disables checkpointing and keeps participating —
+	// liveness preserved, recovery forfeited.
+	ErrStorageDegraded = errors.New("checkpoint: storage degraded")
+	// ErrStorageLost reports that the checkpoint state cannot be read or
+	// recovered at all — the directory is unusable or every WAL copy
+	// failed. Resume is impossible; a restart must either run
+	// uncheckpointed or give up.
+	ErrStorageLost = errors.New("checkpoint: storage lost")
+)
+
+// Options selects the filesystem and the redundancy mode. The zero value
+// is the production default: the real filesystem, single-copy WAL.
+type Options struct {
+	// FS is the filesystem seam; nil means the real OS filesystem.
+	FS errfs.FS
+	// Mirror enables the dual-copy WAL ("wal" + "wal2"): appends go to
+	// both copies, recovery votes for the longest intact record prefix
+	// and repairs the other copy from it, so any damage confined to one
+	// copy — bit rot included — loses nothing.
+	Mirror bool
+}
+
+func (o Options) fs() errfs.FS {
+	if o.FS == nil {
+		return errfs.OS{}
+	}
+	return o.FS
+}
+
+func (o Options) copyNames() []string {
+	if o.Mirror {
+		return []string{walName, walMirror}
+	}
+	return []string{walName}
+}
+
+// WAL copy file names inside the state directory.
+const (
+	walName   = "wal"
+	walMirror = "wal2"
 )
 
 // Record kinds (first body byte).
@@ -112,49 +171,256 @@ type State struct {
 	Partial *Instance
 }
 
-// Log is an open write-ahead log. Appends are fsync'd before returning, so
-// a record that was reported durable survives process death. Not safe for
-// concurrent use; a session drives it from one goroutine.
-type Log struct {
-	f      *os.File
-	closed bool
+// walCopy is one physical copy of the log.
+type walCopy struct {
+	name string // path, for error reporting
+	f    errfs.File
+	dead bool
+	err  error // why the copy was demoted
+
+	// replay results, used during Open only.
+	st   *State
+	off  int64
+	nrec int
+	raw  []byte // intact byte prefix (mirror mode only)
+	size int64
 }
 
-// Open opens (creating if necessary) the WAL in dir, replays it tolerating
-// a torn tail, truncates any torn bytes, and returns the recovered state
-// with the log positioned for appending.
-func Open(dir string) (*Log, *State, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, fmt.Errorf("checkpoint: %w", err)
-	}
-	path := filepath.Join(dir, "wal")
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("checkpoint: %w", err)
-	}
-	st, goodOff, err := replay(f)
-	if err != nil {
-		_ = f.Close() // already failing; the replay error is the story
-		return nil, nil, err
-	}
-	// Discard the torn tail, if any, and position for append.
-	if err := f.Truncate(goodOff); err != nil {
-		_ = f.Close() // already failing; the truncate error is the story
-		return nil, nil, fmt.Errorf("checkpoint: truncate torn tail: %w", err)
-	}
-	if _, err := f.Seek(goodOff, io.SeekStart); err != nil {
-		_ = f.Close() // already failing; the seek error is the story
-		return nil, nil, fmt.Errorf("checkpoint: %w", err)
-	}
-	return &Log{f: f}, st, nil
+// Log is an open write-ahead log. Appends are fsync'd on every copy
+// before returning, so a record that was reported durable survives
+// process death. Not safe for concurrent use; a session drives it from
+// one goroutine.
+type Log struct {
+	fs     errfs.FS
+	dir    string
+	copies []*walCopy
+	// degraded is the sticky typed condition after any copy failed;
+	// nil while fully healthy.
+	degraded error
+	closed   bool
 }
+
+// Open opens (creating if necessary) the WAL in dir on the real
+// filesystem, replays it tolerating a torn tail, truncates any torn
+// bytes, and returns the recovered state with the log positioned for
+// appending.
+func Open(dir string) (*Log, *State, error) { return OpenOptions(dir, Options{}) }
+
+// OpenOptions is Open over an explicit filesystem and redundancy mode.
+func OpenOptions(dir string, o Options) (*Log, *State, error) {
+	fs := o.fs()
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("%w: mkdir %s: %v", ErrStorageLost, dir, err)
+	}
+	l := &Log{fs: fs, dir: dir}
+	created := false
+	for _, name := range o.copyNames() {
+		path := filepath.Join(dir, name)
+		c := &walCopy{name: path}
+		f, madeNew, err := openCopy(fs, path)
+		if err != nil {
+			c.dead, c.err = true, err
+		} else {
+			c.f = f
+			created = created || madeNew
+		}
+		l.copies = append(l.copies, c)
+	}
+	if created {
+		// The WAL's directory entry must itself be durable: without this
+		// fsync a crash right after create loses the file — entry, data,
+		// fsyncs and all (verified by the errfs crash-point explorer).
+		if err := fs.SyncDir(dir); err != nil {
+			l.closeAll()
+			return nil, nil, fmt.Errorf("%w: fsync dir %s: %v", ErrStorageLost, dir, err)
+		}
+	}
+
+	// Replay every live copy independently.
+	for _, c := range l.copies {
+		if c.dead {
+			continue
+		}
+		st, off, nrec, raw, err := replayCopy(c.f, o.Mirror)
+		if err != nil {
+			l.demote(c, err)
+			continue
+		}
+		c.st, c.off, c.nrec, c.raw = st, off, nrec, raw
+		if c.size, err = c.f.Seek(0, io.SeekEnd); err != nil {
+			l.demote(c, fmt.Errorf("size: %w", err))
+		}
+	}
+
+	// Vote: the copy with the longest intact record prefix wins. Try
+	// finalists in vote order so a winner whose tail truncation fails
+	// falls back to the next-best copy instead of losing everything.
+	for {
+		w := l.vote()
+		if w == nil {
+			err := l.firstErr()
+			l.closeAll()
+			if len(l.copies) == 1 {
+				return nil, nil, err // preserve the single copy's typed error
+			}
+			return nil, nil, fmt.Errorf("%w: every WAL copy failed: %v", ErrStorageLost, err)
+		}
+		if err := finalizeWinner(fs, dir, w); err != nil {
+			l.demote(w, err)
+			continue
+		}
+		// Repair the other copies from the winner (mirror mode).
+		for _, c := range l.copies {
+			if c == w || c.dead {
+				continue
+			}
+			if err := repairCopy(fs, dir, c, w.raw); err != nil {
+				l.demote(c, err)
+			}
+		}
+		st := w.st
+		scrubReplayState(l.copies)
+		return l, st, nil
+	}
+}
+
+// openCopy opens one WAL copy, reporting whether it had to be created.
+func openCopy(fs errfs.FS, path string) (errfs.File, bool, error) {
+	f, err := fs.OpenFile(path, os.O_RDWR, 0o644)
+	if err == nil {
+		return f, false, nil
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		return nil, false, fmt.Errorf("%w: open %s: %v", ErrStorageLost, path, err)
+	}
+	f, err = fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: create %s: %v", ErrStorageLost, path, err)
+	}
+	return f, true, nil
+}
+
+// finalizeWinner discards the winner's torn tail (if any) and positions
+// it for appending. A truncation that actually discarded bytes is itself
+// written back durably: file fsync plus directory fsync, so the shrunken
+// length survives a crash.
+func finalizeWinner(fs errfs.FS, dir string, w *walCopy) error {
+	if w.size != w.off {
+		if err := w.f.Truncate(w.off); err != nil {
+			return fmt.Errorf("truncate torn tail: %w", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("sync torn-tail truncation: %w", err)
+		}
+		if err := fs.SyncDir(dir); err != nil {
+			return fmt.Errorf("sync dir after truncation: %w", err)
+		}
+	}
+	if _, err := w.f.Seek(w.off, io.SeekStart); err != nil {
+		return fmt.Errorf("seek: %w", err)
+	}
+	return nil
+}
+
+// repairCopy rewrites a lagging or damaged copy from the winner's intact
+// prefix (mirror mode), leaving it positioned for appending.
+func repairCopy(fs errfs.FS, dir string, c *walCopy, winnerRaw []byte) error {
+	if bytes.Equal(c.raw, winnerRaw) && c.size == int64(len(winnerRaw)) {
+		if _, err := c.f.Seek(c.size, io.SeekStart); err != nil {
+			return fmt.Errorf("seek: %w", err)
+		}
+		return nil
+	}
+	if err := c.f.Truncate(0); err != nil {
+		return fmt.Errorf("repair truncate: %w", err)
+	}
+	if _, err := c.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("repair seek: %w", err)
+	}
+	if _, err := c.f.Write(winnerRaw); err != nil {
+		return fmt.Errorf("repair write: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("repair sync: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("repair dir sync: %w", err)
+	}
+	return nil
+}
+
+// vote returns the live copy with the longest intact record prefix
+// (lowest index on ties), or nil if none are live.
+func (l *Log) vote() *walCopy {
+	var best *walCopy
+	for _, c := range l.copies {
+		if c.dead {
+			continue
+		}
+		if best == nil || c.nrec > best.nrec {
+			best = c
+		}
+	}
+	return best
+}
+
+// demote marks a copy dead, records the degraded condition, and releases
+// the copy's file.
+func (l *Log) demote(c *walCopy, err error) {
+	if c.dead {
+		return
+	}
+	c.dead, c.err = true, err
+	if l.degraded == nil {
+		l.degraded = fmt.Errorf("%w: copy %s: %v", ErrStorageDegraded, c.name, err)
+	}
+	if c.f != nil {
+		_ = c.f.Close() // the copy is already being abandoned
+		c.f = nil
+	}
+}
+
+// firstErr returns the first demotion error, for terminal reporting.
+func (l *Log) firstErr() error {
+	for _, c := range l.copies {
+		if c.err != nil {
+			return c.err
+		}
+	}
+	return fmt.Errorf("%w: no WAL copy usable", ErrStorageLost)
+}
+
+func (l *Log) closeAll() {
+	for _, c := range l.copies {
+		if c.f != nil {
+			_ = c.f.Close() // open is already failing; its error is the story
+			c.f = nil
+		}
+	}
+}
+
+// scrubReplayState drops the per-copy replay scratch so the raw prefixes
+// don't pin memory for the life of the log.
+func scrubReplayState(copies []*walCopy) {
+	for _, c := range copies {
+		c.st, c.raw = nil, nil
+	}
+}
+
+// Degraded returns the sticky typed storage condition: nil while every
+// copy is healthy, an error wrapping ErrStorageDegraded after any copy
+// was demoted (the log keeps appending to the survivors).
+func (l *Log) Degraded() error { return l.degraded }
 
 // Inspect replays the WAL in dir without keeping it open. A missing or
 // empty WAL yields a zero State, not an error. A Close failure is a real
 // error here: Open truncates the torn tail in place, and if that write-back
 // cannot be completed the reported state may not match the file.
-func Inspect(dir string) (*State, error) {
-	log, st, err := Open(dir)
+func Inspect(dir string) (*State, error) { return InspectOptions(dir, Options{}) }
+
+// InspectOptions is Inspect over an explicit filesystem and mode.
+func InspectOptions(dir string, o Options) (*State, error) {
+	log, st, err := OpenOptions(dir, o)
 	if err != nil {
 		return nil, err
 	}
@@ -164,58 +430,83 @@ func Inspect(dir string) (*State, error) {
 	return st, nil
 }
 
-// replay scans records from the start of f, returning the recovered state
-// and the offset just past the last intact record.
-func replay(f *os.File) (*State, int64, error) {
+// replayCopy scans records from the start of f, returning the recovered
+// state, the offset just past the last intact record, the intact record
+// count, and (when keepRaw) the intact byte prefix for mirror repair.
+func replayCopy(f errfs.File, keepRaw bool) (*State, int64, int, []byte, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, 0, nil, fmt.Errorf("%w: seek: %v", ErrStorageLost, err)
+	}
 	st := &State{}
 	var off int64
-	r := &offsetReader{f: f}
+	nrec := 0
+	r := &offsetReader{f: f, record: keepRaw}
 	for {
 		body, err := readRecord(r)
 		if err == errTornTail {
-			return st, off, nil
+			var raw []byte
+			if keepRaw {
+				raw = append([]byte(nil), r.raw[:off]...)
+			}
+			return st, off, nrec, raw, nil
 		}
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, nil, err
 		}
 		if err := st.apply(body); err != nil {
-			return nil, 0, err
+			return nil, 0, 0, nil, err
 		}
 		off = r.off
+		nrec++
 	}
 }
 
 // errTornTail is the internal sentinel for "the file ends mid-record".
 var errTornTail = errors.New("torn tail")
 
-// offsetReader tracks how many bytes have been consumed from f.
+// offsetReader tracks how many bytes have been consumed from f and,
+// optionally, records them for mirror repair.
 type offsetReader struct {
-	f   *os.File
-	off int64
+	f      io.Reader
+	off    int64
+	record bool
+	raw    []byte
 }
 
 func (r *offsetReader) Read(p []byte) (int, error) {
 	n, err := r.f.Read(p)
 	r.off += int64(n)
+	if r.record && n > 0 {
+		r.raw = append(r.raw, p[:n]...)
+	}
 	return n, err
 }
 
 // readRecord reads one framed record. A clean EOF at a record boundary, a
-// truncated frame, or a CRC mismatch on the final record all surface as
+// truncated frame, a garbage length, or a CRC mismatch all surface as
 // errTornTail — the caller truncates there. (A CRC mismatch that is *not*
 // at the tail is indistinguishable from one that is until the next read;
 // since appends are sequential and fsync'd, treating every bad frame as the
-// tail is the standard WAL recovery rule.)
+// tail is the standard WAL recovery rule — and the mirrored mode's voting
+// recovers whatever a single copy's mid-file damage would drop.) A read
+// that fails with a real device error — not any flavor of EOF — is storage
+// loss, not a tear, and is reported as such.
 func readRecord(r io.Reader) ([]byte, error) {
 	size, err := wire.ReadUvarint(r)
 	if err != nil {
-		return nil, errTornTail // EOF at boundary or mid-varint
+		if isDeviceErr(err) {
+			return nil, fmt.Errorf("%w: read: %v", ErrStorageLost, err)
+		}
+		return nil, errTornTail // EOF at boundary, mid-varint, or garbage
 	}
 	if size == 0 || size > maxRecord {
 		return nil, errTornTail // garbage length: treat as torn
 	}
 	buf := make([]byte, size+4)
 	if _, err := io.ReadFull(r, buf); err != nil {
+		if isDeviceErr(err) {
+			return nil, fmt.Errorf("%w: read: %v", ErrStorageLost, err)
+		}
 		return nil, errTornTail
 	}
 	body, sum := buf[:size], buf[size:]
@@ -224,6 +515,12 @@ func readRecord(r io.Reader) ([]byte, error) {
 		return nil, errTornTail
 	}
 	return body, nil
+}
+
+// isDeviceErr distinguishes an I/O failure from running out of bytes.
+func isDeviceErr(err error) bool {
+	return !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+		!errors.Is(err, wire.ErrFrame)
 }
 
 // apply folds one decoded record into the state.
@@ -289,7 +586,10 @@ func (st *State) apply(body []byte) error {
 	return nil
 }
 
-// append frames, writes, and fsyncs one record body.
+// append frames one record body, then writes and fsyncs it on every live
+// copy. The append is durable if at least one copy accepted it; a copy
+// that fails is demoted (the log degrades to the survivors) and only when
+// no copy remains does the append itself fail, typed ErrStorageDegraded.
 func (l *Log) append(body []byte) error {
 	if l.closed {
 		return ErrClosed
@@ -299,11 +599,24 @@ func (l *Log) append(body []byte) error {
 	w.Raw(body)
 	sum := crc32.Checksum(body, castagnoli)
 	w.Raw([]byte{byte(sum), byte(sum >> 8), byte(sum >> 16), byte(sum >> 24)})
-	if _, err := l.f.Write(w.Finish()); err != nil {
-		return fmt.Errorf("checkpoint: append: %w", err)
+	frame := w.Finish()
+	durable := false
+	for _, c := range l.copies {
+		if c.dead {
+			continue
+		}
+		if _, err := c.f.Write(frame); err != nil {
+			l.demote(c, fmt.Errorf("append: %w", err))
+			continue
+		}
+		if err := c.f.Sync(); err != nil {
+			l.demote(c, fmt.Errorf("fsync: %w", err))
+			continue
+		}
+		durable = true
 	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("checkpoint: fsync: %w", err)
+	if !durable {
+		return fmt.Errorf("%w: append reached no copy: %v", ErrStorageDegraded, l.firstErr())
 	}
 	return nil
 }
@@ -357,13 +670,23 @@ func (l *Log) AppendEnd(output *big.Int) error {
 	return l.append(w.Finish())
 }
 
-// Close releases the file. Records already appended are durable.
+// Close releases the files. Records already appended are durable.
 func (l *Log) Close() error {
 	if l.closed {
 		return nil
 	}
 	l.closed = true
-	return l.f.Close()
+	var first error
+	for _, c := range l.copies {
+		if c.f == nil {
+			continue
+		}
+		if err := c.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		c.f = nil
+	}
+	return first
 }
 
 // writeBig encodes an optional big.Int as presence/sign byte + magnitude.

@@ -1,0 +1,210 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"convexagreement/internal/errfs"
+)
+
+// CopyReport is the scrub verdict for one physical WAL copy.
+type CopyReport struct {
+	// Name is the copy's path.
+	Name string
+	// Present reports whether the file exists.
+	Present bool
+	// Records is the number of intact CRC-verified records.
+	Records int
+	// IntactBytes is the byte length of the intact record prefix.
+	IntactBytes int64
+	// TotalBytes is the file size; TotalBytes > IntactBytes means the
+	// copy carries damaged or torn bytes past its intact prefix.
+	TotalBytes int64
+	// Repaired reports that this copy was rewritten from the voting
+	// winner (mirrored mode only).
+	Repaired bool
+	// Err is a per-copy failure (open, read, or repair), empty if none.
+	Err string
+}
+
+// Damaged reports whether the copy needs attention: missing, carrying
+// bytes beyond its intact prefix, or erroring.
+func (c *CopyReport) Damaged() bool {
+	return !c.Present || c.TotalBytes > c.IntactBytes || c.Err != ""
+}
+
+// ScrubReport summarizes a full-log CRC verification pass.
+type ScrubReport struct {
+	// Copies holds one verdict per physical copy, in vote-priority order.
+	Copies []CopyReport
+	// Records is the winning copy's intact record count — what Open
+	// would recover.
+	Records int
+	// Repaired reports that at least one copy was rewritten.
+	Repaired bool
+}
+
+// String renders the report for operator logs.
+func (r *ScrubReport) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "scrub: %d records", r.Records)
+	for i := range r.Copies {
+		c := &r.Copies[i]
+		fmt.Fprintf(&b, "; %s:", filepath.Base(c.Name))
+		switch {
+		case !c.Present:
+			b.WriteString(" missing")
+		case c.Err != "":
+			fmt.Fprintf(&b, " error(%s)", c.Err)
+		default:
+			fmt.Fprintf(&b, " %d/%d bytes intact (%d records)", c.IntactBytes, c.TotalBytes, c.Records)
+		}
+		if c.Repaired {
+			b.WriteString(" repaired")
+		}
+	}
+	return b.String()
+}
+
+// Scrub walks every WAL copy in dir verifying CRC frames end to end and
+// reports what it found. On the real filesystem in single-copy mode it is
+// read-only: damage is reported, not touched (Open's torn-tail rule is the
+// only mutation path). See ScrubOptions for the mirrored mode, which
+// additionally repairs.
+func Scrub(dir string) (*ScrubReport, error) { return ScrubOptions(dir, Options{}) }
+
+// ScrubOptions is Scrub over an explicit filesystem and mode. In mirrored
+// mode it repairs: the copy with the longest intact record prefix wins the
+// vote, and every copy that differs from that prefix — lagging,
+// bit-rotted, torn, missing entirely, or the winner's own damaged tail —
+// is rewritten to it and fsync'd (directory included). Repair reads only
+// CRC-verified records, so detected damage never propagates into the
+// repaired copy; a second pass over an already-repaired log is a no-op.
+func ScrubOptions(dir string, o Options) (*ScrubReport, error) {
+	fsys := o.fs()
+	rep := &ScrubReport{}
+	type scan struct {
+		raw []byte // full file contents as read
+		ok  bool   // opened and read successfully
+	}
+	scans := make([]scan, 0, 2)
+	for _, name := range o.copyNames() {
+		path := filepath.Join(dir, name)
+		cr := CopyReport{Name: path}
+		var sc scan
+		raw, err := readAll(fsys, path)
+		switch {
+		case err == nil:
+			sc = scan{raw: raw, ok: true}
+			cr.Present = true
+			cr.TotalBytes = int64(len(raw))
+			cr.Records, cr.IntactBytes = walkFrames(raw)
+		case errors.Is(err, fs.ErrNotExist):
+			// Absent copy: reported, and a repair target in mirror mode.
+		default:
+			cr.Present = true
+			cr.Err = err.Error()
+		}
+		scans = append(scans, sc)
+		rep.Copies = append(rep.Copies, cr)
+	}
+
+	// Vote: longest intact prefix wins, lowest index on ties.
+	win := -1
+	for i := range rep.Copies {
+		if !scans[i].ok {
+			continue
+		}
+		if win < 0 || rep.Copies[i].Records > rep.Copies[win].Records {
+			win = i
+		}
+	}
+	if win < 0 {
+		return rep, nil // nothing readable; nothing to repair from
+	}
+	rep.Records = rep.Copies[win].Records
+	if !o.Mirror {
+		return rep, nil
+	}
+
+	// Normalize every copy — the winner's own damaged tail included — to
+	// the winning intact prefix. (The tail is not CRC-intact by
+	// definition, so Open would discard it anyway; trimming it here keeps
+	// the pass idempotent: a repaired directory re-scrubs as a no-op.)
+	good := scans[win].raw[:rep.Copies[win].IntactBytes]
+	for i := range rep.Copies {
+		cr := &rep.Copies[i]
+		if scans[i].ok && cr.TotalBytes == int64(len(good)) && bytes.Equal(scans[i].raw, good) {
+			continue
+		}
+		if err := rewriteCopy(fsys, dir, cr.Name, good); err != nil {
+			cr.Err = err.Error()
+			continue
+		}
+		cr.Repaired = true
+		cr.Present = true
+		cr.Records = rep.Records
+		cr.IntactBytes = int64(len(good))
+		cr.TotalBytes = int64(len(good))
+		rep.Repaired = true
+	}
+	return rep, nil
+}
+
+// walkFrames counts intact CRC frames in buf and the byte length of the
+// intact prefix. Scanning stops at the first damaged frame, exactly as
+// replay would.
+func walkFrames(buf []byte) (records int, intact int64) {
+	r := &offsetReader{f: bytes.NewReader(buf)}
+	for {
+		if _, err := readRecord(r); err != nil {
+			return records, intact
+		}
+		records++
+		intact = r.off
+	}
+}
+
+// readAll slurps one file through the seam.
+func readAll(fsys errfs.FS, path string) ([]byte, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := io.ReadAll(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// rewriteCopy replaces path's contents with good, durably.
+func rewriteCopy(fsys errfs.FS, dir, path string, good []byte) error {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("repair open: %w", err)
+	}
+	if _, err := f.Write(good); err != nil {
+		_ = f.Close() // the write error is the story
+		return fmt.Errorf("repair write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close() // the sync error is the story
+		return fmt.Errorf("repair sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("repair close: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("repair dir sync: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Package errfs is the storage counterpart of internal/faultnet: a
+// filesystem seam over the handful of operations the checkpoint layer
+// performs (mkdir/open/write/sync/truncate/read/close plus directory
+// fsync), with two implementations — the real OS filesystem, and a
+// deterministic in-memory filesystem that models what storage actually
+// guarantees and injects every fault real disks exhibit.
+//
+// The durability model the Mem implementation enforces is the POSIX one
+// the WAL's fsync discipline is written against, not the friendlier one
+// most code silently assumes:
+//
+//   - a write is VOLATILE until a successful Sync on the same file; a
+//     crash may persist any prefix of the un-synced writes (in op order),
+//     torn at an arbitrary byte offset;
+//   - a created file's directory ENTRY is volatile until the directory
+//     itself is fsync'd — a crash right after create+write+fsync can
+//     still lose the whole file if the directory entry never made it out;
+//   - a Sync may LIE: ack durability and lose the data on crash anyway
+//     (disabled write barriers, virtio caches, bugs all the way down);
+//   - reads may return BIT-ROTTED data: a deterministic per-media-block
+//     flip that reproduces on every read of that block, which is what
+//     distinguishes rot from a transient transfer error;
+//   - any operation may fail with a transient or permanent injected EIO,
+//     and writes may stop with ENOSPC after a byte budget.
+//
+// Every injected fault is a pure function of (seed, op index, location),
+// so runs replay exactly; Transcript exposes an FNV-1a digest of the
+// fault sequence for asserting that, mirroring faultnet.Net.Transcript.
+// The op counter doubles as the crash-point dial: CrashOps makes the
+// filesystem die at an exact operation, and CrashImage materializes any
+// of the disk states a crash there could leave behind — the machinery
+// the checkpoint crash-point explorer enumerates exhaustively.
+package errfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the filesystem seam. The zero-value OS implements it over the
+// real filesystem; Mem implements it in memory with fault injection.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string, perm os.FileMode) error
+	// OpenFile opens name with os.OpenFile semantics for the flag subset
+	// the checkpoint layer uses (O_RDONLY, O_RDWR, O_WRONLY, O_CREATE,
+	// O_TRUNC).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Remove deletes name.
+	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making the entries of files
+	// created (or truncated away) inside it durable. Without it a crash
+	// can lose a freshly created file even after its data was fsync'd.
+	SyncDir(dir string) error
+}
+
+// File is the per-file operation surface, satisfied by *os.File.
+type File interface {
+	io.Reader
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Close() error
+}
+
+// Injected fault classes, matchable with errors.Is.
+var (
+	// ErrCrashed reports that the simulated crash point was reached:
+	// the process is "dead" and every further operation fails.
+	ErrCrashed = errors.New("errfs: simulated crash")
+	// ErrDiskFault is an injected EIO (transient or permanent).
+	ErrDiskFault = errors.New("errfs: injected I/O fault")
+	// ErrNoSpace is an injected ENOSPC.
+	ErrNoSpace = errors.New("errfs: injected ENOSPC")
+)
+
+// OS is the real filesystem: a zero-overhead passthrough to the os
+// package. Its OpenFile returns the *os.File itself.
+type OS struct{}
+
+var _ FS = OS{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// OpenFile implements FS.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir implements FS: open the directory and fsync it, so the file
+// entries created inside it survive a crash.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close() // already failing; the sync error is the story
+		return err
+	}
+	return d.Close()
+}
+
+// notExist adapts a missing-path error so errors.Is(err, fs.ErrNotExist)
+// holds for Mem exactly as it does for OS.
+func notExist(op, name string) error {
+	return &fs.PathError{Op: op, Path: name, Err: fs.ErrNotExist}
+}

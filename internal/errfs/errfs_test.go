@@ -1,0 +1,366 @@
+package errfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"testing"
+)
+
+// write/read helpers over the File interface.
+func mustWrite(t *testing.T, f File, p []byte) {
+	t.Helper()
+	n, err := f.Write(p)
+	if err != nil || n != len(p) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+}
+
+func readAll(t *testing.T, m *Mem, name string) []byte {
+	t.Helper()
+	f, err := m.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	defer func() { _ = f.Close() }()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return data
+}
+
+func TestMemBasicRoundTrip(t *testing.T) {
+	m := NewMem(Faults{})
+	if err := m.MkdirAll("state", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("state/wal", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("hello "))
+	mustWrite(t, f, []byte("world"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, m, "state/wal"); string(got) != "hello world" {
+		t.Fatalf("read back %q", got)
+	}
+	// Seek + truncate behave like os.File.
+	f, err = m.OpenFile("state/wal", os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if off, err := f.Seek(0, io.SeekEnd); err != nil || off != 5 {
+		t.Fatalf("seek end = %d, %v", off, err)
+	}
+	_ = f.Close()
+	if got := readAll(t, m, "state/wal"); string(got) != "hello" {
+		t.Fatalf("after truncate: %q", got)
+	}
+}
+
+func TestMemOpenMissing(t *testing.T) {
+	m := NewMem(Faults{})
+	if _, err := m.OpenFile("nope", os.O_RDONLY, 0); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("open missing = %v, want ErrNotExist", err)
+	}
+	// Create inside a directory that was never made fails too.
+	if _, err := m.OpenFile("nodir/wal", os.O_RDWR|os.O_CREATE, 0o644); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("create in missing dir = %v, want ErrNotExist", err)
+	}
+}
+
+// TestMemCrashDurability is the heart of the model: un-synced writes die
+// in a crash, synced writes survive, and a created-but-never-dir-synced
+// file vanishes entirely even when its DATA was fsync'd.
+func TestMemCrashDurability(t *testing.T) {
+	m := NewMem(Faults{})
+	if err := m.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("d/wal", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("AAAA"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// File data is durable — but the entry is not: crash loses the file.
+	img := m.CrashImage(0)
+	if _, ok := img.ReadFileRaw("d/wal"); ok {
+		t.Fatal("file with un-synced directory entry survived the crash")
+	}
+	// After SyncDir the entry is durable; synced data survives, the
+	// un-synced suffix tears at every byte offset.
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("BBBB"))
+	mustWrite(t, f, []byte("CC"))
+	if pb := m.PendingBytes(); pb != 6 {
+		t.Fatalf("pending bytes = %d, want 6", pb)
+	}
+	for torn := 0; torn <= 6; torn++ {
+		img := m.CrashImage(torn)
+		got, ok := img.ReadFileRaw("d/wal")
+		if !ok {
+			t.Fatalf("torn=%d: file lost after dir sync", torn)
+		}
+		want := "AAAABBBBCC"[:4+torn]
+		if string(got) != want {
+			t.Fatalf("torn=%d: %q, want %q", torn, got, want)
+		}
+	}
+	// Honest sync clears the pending set.
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if pb := m.PendingBytes(); pb != 0 {
+		t.Fatalf("pending after sync = %d", pb)
+	}
+	if got, _ := m.CrashImage(0).ReadFileRaw("d/wal"); string(got) != "AAAABBBBCC" {
+		t.Fatalf("durable image = %q", got)
+	}
+}
+
+// TestMemSyncLie: a lying sync reports success but promotes nothing — the
+// acked bytes are still gone after a crash.
+func TestMemSyncLie(t *testing.T) {
+	m := NewMem(Faults{Seed: 7, SyncLieProb: 1})
+	if err := m.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("d/wal", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("gone"))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying sync returned error: %v", err)
+	}
+	if m.Transcript() == NewMem(Faults{}).Transcript() {
+		t.Fatal("fsync lie not recorded in the fault transcript")
+	}
+	// SyncDir lies too, so the entry is also volatile.
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.CrashImage(99).ReadFileRaw("d/wal"); ok {
+		t.Fatal("file survived crash though every fsync lied")
+	}
+}
+
+// TestMemCrashOps pins the crash dial: op #k is refused and everything
+// after fails with ErrCrashed.
+func TestMemCrashOps(t *testing.T) {
+	m := NewMem(Faults{})
+	if err := m.MkdirAll("d", 0o755); err != nil { // op 1
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("d/wal", os.O_RDWR|os.O_CREATE, 0o644) // op 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CrashOps(2)                                                    // next two mutations: write ok, then crash
+	mustWrite(t, f, []byte("x"))                                     // op 3
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrCrashed) { // op 4: crash
+		t.Fatalf("write at crash point = %v", err)
+	}
+	if !m.Crashed() {
+		t.Fatal("crash point did not latch")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync after crash = %v", err)
+	}
+	if _, err := m.OpenFile("d/wal", os.O_RDONLY, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open after crash = %v", err)
+	}
+	// The crashed write never reached the pending set.
+	img := m.CrashImage(m.PendingBytes())
+	if got, ok := img.ReadFileRaw("d/wal"); ok {
+		if string(got) != "x" {
+			t.Fatalf("crash image = %q, want %q", got, "x")
+		}
+		t.Fatal("entry was never dir-synced; file should be lost")
+	}
+}
+
+// TestMemFaultDeterminism: two identically-seeded, identically-driven
+// filesystems inject identical faults (equal transcripts), and a
+// different seed diverges.
+func TestMemFaultDeterminism(t *testing.T) {
+	drive := func(seed int64) (uint64, []error) {
+		m := NewMem(Faults{Seed: seed, WriteEIOProb: 0.3, ShortWriteProb: 0.2, SyncLieProb: 0.2, SyncEIOProb: 0.1})
+		var errs []error
+		if err := m.MkdirAll("d", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := m.OpenFile("d/wal", os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			_, err := f.Write([]byte("0123456789abcdef"))
+			errs = append(errs, err)
+			errs = append(errs, f.Sync())
+		}
+		return m.Transcript(), errs
+	}
+	d1, e1 := drive(42)
+	d2, e2 := drive(42)
+	if d1 != d2 {
+		t.Fatalf("same seed, different transcripts: %x vs %x", d1, d2)
+	}
+	for i := range e1 {
+		if (e1[i] == nil) != (e2[i] == nil) {
+			t.Fatalf("op %d: error %v vs %v under the same seed", i, e1[i], e2[i])
+		}
+	}
+	if d3, _ := drive(43); d3 == d1 {
+		t.Fatal("different seeds produced identical fault transcripts")
+	}
+	var sawErr bool
+	for _, err := range e1 {
+		if err != nil {
+			sawErr = true
+			if !errors.Is(err, ErrDiskFault) {
+				t.Fatalf("injected error %v does not unwrap to ErrDiskFault", err)
+			}
+		}
+	}
+	if !sawErr {
+		t.Fatal("no faults fired at these probabilities")
+	}
+}
+
+// TestMemReadRot: rot is stable per media block — every read of the
+// block sees the same flip — and RotFile confines it.
+func TestMemReadRot(t *testing.T) {
+	m := NewMem(Faults{Seed: 9, ReadRotProb: 1, RotFile: "wal"})
+	content := make([]byte, 2*64) // two full media blocks
+	for i := range content {
+		content[i] = byte('a' + i%26)
+	}
+	m.WriteFileRaw("d/wal", content)
+	m.WriteFileRaw("d/other", content)
+	r1 := readAll(t, m, "d/wal")
+	r2 := readAll(t, m, "d/wal")
+	if string(r1) != string(r2) {
+		t.Fatalf("rot not stable across reads:\n%q\n%q", r1, r2)
+	}
+	clean, _ := m.ReadFileRaw("d/wal")
+	if string(r1) == string(clean) {
+		t.Fatal("ReadRotProb=1 rotted nothing")
+	}
+	diff := 0
+	for i := range r1 {
+		if r1[i] != clean[i] {
+			diff++
+		}
+	}
+	if diff != 2 { // one stable flip per full 64-byte block
+		t.Fatalf("%d bytes differ, want 2", diff)
+	}
+	if other := readAll(t, m, "d/other"); string(other) != string(clean) {
+		t.Fatal("rot leaked outside RotFile")
+	}
+}
+
+// TestMemNoSpace: the byte budget tears the overflowing write and every
+// later write fails outright.
+func TestMemNoSpace(t *testing.T) {
+	m := NewMem(Faults{NoSpaceAfter: 10})
+	if err := m.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("d/wal", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("12345678")) // 8 of 10
+	n, err := f.Write([]byte("abcde"))
+	if !errors.Is(err, ErrNoSpace) || n != 2 {
+		t.Fatalf("overflowing write = %d, %v; want 2, ErrNoSpace", n, err)
+	}
+	if n, err := f.Write([]byte("z")); !errors.Is(err, ErrNoSpace) || n != 0 {
+		t.Fatalf("write on full disk = %d, %v", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err) // fsync still works: only space is exhausted
+	}
+	if got, _ := m.ReadFileRaw("d/wal"); string(got) != "12345678ab" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+// TestMemDeadDisk: past OpEIOAfter everything fails permanently.
+func TestMemDeadDisk(t *testing.T) {
+	m := NewMem(Faults{OpEIOAfter: 3})
+	if err := m.MkdirAll("d", 0o755); err != nil { // op 1
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("d/wal", os.O_RDWR|os.O_CREATE, 0o644) // op 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("ok"))                                         // op 3
+	if _, err := f.Write([]byte("dead")); !errors.Is(err, ErrDiskFault) { // op 4
+		t.Fatalf("write on dead disk = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrDiskFault) {
+		t.Fatalf("sync on dead disk = %v", err)
+	}
+	if _, err := f.Read(make([]byte, 1)); !errors.Is(err, ErrDiskFault) {
+		t.Fatalf("read on dead disk = %v", err)
+	}
+}
+
+// TestOSRoundTrip drives the real-filesystem implementation through the
+// same motions the checkpoint layer uses.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var osfs OS
+	if err := osfs.MkdirAll(dir+"/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := osfs.OpenFile(dir+"/sub/wal", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, f, []byte("data"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := osfs.SyncDir(dir + "/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	if off, err := f.Seek(0, io.SeekStart); err != nil || off != 0 {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	if err != nil || string(got) != "da" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := osfs.Remove(dir + "/sub/wal"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := osfs.OpenFile(dir+"/sub/wal", os.O_RDONLY, 0); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("open removed = %v", err)
+	}
+}

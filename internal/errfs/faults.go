@@ -1,0 +1,152 @@
+package errfs
+
+import "hash/fnv"
+
+// Faults is the seeded storage-fault configuration for Mem. The zero
+// value injects nothing. Every probabilistic decision is a pure function
+// of (Seed, op index) — or, for read bit-rot, (Seed, file, media block) —
+// so identically-driven runs inject identical faults; crash points and
+// torn writes are not probabilities but explicit dials (CrashOps,
+// CrashImage), because the crash-point explorer enumerates them
+// exhaustively instead of sampling.
+type Faults struct {
+	// Seed keys every fault roll; identical seeds replay identical faults.
+	Seed int64
+	// WriteEIOProb is the per-write (and per-truncate) probability of a
+	// transient EIO: the operation fails and applies nothing.
+	WriteEIOProb float64
+	// ShortWriteProb is the per-write probability of a short write: a
+	// deterministic proper prefix is applied and the write fails.
+	ShortWriteProb float64
+	// SyncLieProb is the per-sync probability of an fsync lie: Sync (or
+	// SyncDir) reports success without persisting — the data is lost if a
+	// crash follows before the next honest sync.
+	SyncLieProb float64
+	// SyncEIOProb is the per-sync probability of fsync failing with EIO
+	// (nothing promoted).
+	SyncEIOProb float64
+	// ReadRotProb is the per-64-byte-media-block probability of bit rot:
+	// a one-bit flip applied on every read of that block, keyed by (Seed,
+	// file, block index) so the damage is stable — rot, not line noise.
+	ReadRotProb float64
+	// RotFile, when non-empty, confines bit rot to files with this base
+	// name — the single-copy-rot scenarios of the mirror battery.
+	RotFile string
+	// OpEIOAfter, when positive, kills the disk after that many ops:
+	// every later operation fails with a permanent EIO.
+	OpEIOAfter int
+	// NoSpaceAfter, when positive, is the byte budget across all writes;
+	// a write that would exceed it applies the remaining space and fails
+	// with ENOSPC.
+	NoSpaceAfter int64
+}
+
+// Fault kind codes, folded into the transcript digest.
+const (
+	faultWriteEIO     = 1
+	faultShortWrite   = 2
+	faultSyncLie      = 3
+	faultSyncEIO      = 4
+	faultReadRot      = 5
+	faultNoSpace      = 6
+	faultPermanentEIO = 7
+)
+
+const (
+	fnvOffset = 1469598103934665603 // FNV-1a offset basis
+	fnvPrime  = 1099511628211
+	rotBlock  = 64 // bit-rot granularity in bytes
+)
+
+// roll decides one per-op fault deterministically from (seed, op index,
+// kind, file) and records it in the transcript when it fires. Callers
+// hold m.mu and have already advanced m.ops for this operation.
+func (m *Mem) roll(prob float64, kind int, name string) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob < 1 && float64(m.draw(kind, name)>>11)/float64(1<<53) >= prob {
+		return false
+	}
+	m.record(kind, name, uint64(m.ops))
+	return true
+}
+
+// draw is the deterministic random word for op-scoped decisions.
+func (m *Mem) draw(kind int, name string) uint64 {
+	return mix(uint64(m.faults.Seed), uint64(m.ops), uint64(kind), hashName(name))
+}
+
+// rot applies stable per-block bit flips to freshly read bytes: buf holds
+// the data just read from media offset off of file name.
+func (m *Mem) rot(name string, off int64, buf []byte) {
+	prob := m.faults.ReadRotProb
+	if prob <= 0 || len(buf) == 0 {
+		return
+	}
+	if m.faults.RotFile != "" && baseName(name) != m.faults.RotFile {
+		return
+	}
+	nameH := hashName(name)
+	for block := off / rotBlock; block*rotBlock < off+int64(len(buf)); block++ {
+		h := mix(uint64(m.faults.Seed)^0xb17207, nameH, uint64(block))
+		if prob < 1 && float64(h>>11)/float64(1<<53) >= prob {
+			continue
+		}
+		// The flipped byte and bit are properties of the media location,
+		// not of this read: every read of the block sees the same damage.
+		mediaOff := block*rotBlock + int64(h%rotBlock)
+		if mediaOff < off || mediaOff >= off+int64(len(buf)) {
+			continue
+		}
+		buf[mediaOff-off] ^= byte(1 << ((h >> 8) % 8))
+		m.record(faultReadRot, name, uint64(mediaOff))
+	}
+}
+
+// record folds one injected fault into the transcript digest.
+func (m *Mem) record(kind int, name string, detail uint64) {
+	d := m.digest
+	d = fnvWord(d, uint64(kind))
+	d = fnvWord(d, hashName(name))
+	d = fnvWord(d, detail)
+	m.digest = d
+}
+
+func fnvWord(d, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		d = (d ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return d
+}
+
+func hashName(name string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(baseName(name)))
+	return h.Sum64()
+}
+
+// baseName is the path's final element; fault identity follows the file,
+// not the directory it happens to live in, so fixtures relocate freely.
+func baseName(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' || name[i] == '\\' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// mix folds words through splitmix64, faultnet's decision hash.
+func mix(words ...uint64) uint64 {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for _, w := range words {
+		h ^= w + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}

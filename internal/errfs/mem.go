@@ -1,0 +1,532 @@
+package errfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Mem is the deterministic in-memory filesystem. It tracks, per file, the
+// DURABLE image (what a crash preserves: content as of the last honest
+// Sync) separately from the CURRENT image (what reads see), with the
+// un-synced delta kept as an ordered list of pending write/truncate ops —
+// the raw material CrashImage tears at arbitrary byte offsets. Directory
+// entries have their own durability: a file created since the last
+// SyncDir of its parent vanishes entirely in a crash, fsync'd data and
+// all, exactly as POSIX permits.
+//
+// Every mutating operation (create, write, sync, truncate, dir-sync,
+// remove) increments the op counter, which keys the seeded fault rolls
+// and the CrashOps crash point. Safe for concurrent use; operations are
+// serialized, keeping the op order — and therefore the fault schedule —
+// identical across identically-driven runs.
+type Mem struct {
+	mu      sync.Mutex
+	faults  Faults
+	dirs    map[string]bool
+	files   map[string]*memFile
+	ops     int
+	crashAt int // crash in place of op #crashAt (1-based); 0 = never
+	crashed bool
+	written int64 // cumulative bytes written, for the ENOSPC budget
+	seq     int   // global order of pending ops across files
+	digest  uint64
+}
+
+var _ FS = (*Mem)(nil)
+
+type memFile struct {
+	durable      []byte
+	data         []byte
+	pending      []pendingOp
+	entryDurable bool
+}
+
+// pendingOp is one un-synced mutation: a write of data at off, or a
+// truncation to size.
+type pendingOp struct {
+	seq     int
+	isTrunc bool
+	off     int64
+	data    []byte
+	size    int64
+}
+
+// cost is the pendingOp's share of CrashImage's torn-byte budget: one
+// budget unit per write byte; a truncation is atomic and costs one.
+func (p *pendingOp) cost() int {
+	if p.isTrunc {
+		return 1
+	}
+	return len(p.data)
+}
+
+// NewMem returns an empty in-memory filesystem injecting cfg's faults.
+func NewMem(cfg Faults) *Mem {
+	return &Mem{
+		faults: cfg,
+		dirs:   map[string]bool{".": true, "/": true},
+		files:  map[string]*memFile{},
+		digest: fnvOffset,
+	}
+}
+
+// CrashOps arms the crash point: the k-th mutating operation (1-based,
+// counted from now on top of Ops()) fails with ErrCrashed instead of
+// applying, and every operation after it fails too — the process is dead.
+// k ≤ 0 disarms.
+func (m *Mem) CrashOps(k int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if k <= 0 {
+		m.crashAt = 0
+		return
+	}
+	m.crashAt = m.ops + k
+}
+
+// Crashed reports whether the crash point has fired.
+func (m *Mem) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// Ops returns the number of mutating operations performed (or refused at
+// the crash point) so far.
+func (m *Mem) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// Transcript returns the FNV-1a digest of every fault injected so far —
+// the exact-replay assertion handle, mirroring faultnet.Net.Transcript.
+func (m *Mem) Transcript() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.digest
+}
+
+// PendingBytes returns the total torn-byte budget of the un-synced state:
+// the CrashImage(torn) argument ranges over [0, PendingBytes()]. Files
+// whose directory entry is not yet durable are excluded — they vanish in
+// any crash regardless of the tear point.
+func (m *Mem) PendingBytes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for _, f := range m.files {
+		if !f.entryDurable {
+			continue
+		}
+		for i := range f.pending {
+			total += f.pending[i].cost()
+		}
+	}
+	return total
+}
+
+// CrashImage materializes one of the disk states a crash right now could
+// leave behind: every file keeps its durable image plus the first torn
+// budget-units of its pending ops in global op order (the op straddling
+// the budget is applied as a byte prefix — a torn write); files whose
+// directory entry was never fsync'd are gone entirely. The image is a
+// fresh, un-crashed Mem with the same fault configuration but fresh op
+// and transcript counters, ready to be recovered from.
+func (m *Mem) CrashImage(torn int) *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	img := NewMem(m.faults)
+	for d := range m.dirs {
+		img.dirs[d] = true
+	}
+	// Collect surviving files' pending ops in global order to spend the
+	// torn budget deterministically across files.
+	type filePending struct {
+		name string
+		op   *pendingOp
+	}
+	var ops []filePending
+	names := make([]string, 0, len(m.files))
+	for name := range m.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	content := map[string][]byte{}
+	for _, name := range names {
+		f := m.files[name]
+		if !f.entryDurable {
+			continue
+		}
+		content[name] = append([]byte(nil), f.durable...)
+		for i := range f.pending {
+			ops = append(ops, filePending{name, &f.pending[i]})
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].op.seq < ops[j].op.seq })
+	budget := torn
+	for _, fp := range ops {
+		op, buf := fp.op, content[fp.name]
+		switch {
+		case op.cost() <= budget:
+			budget -= op.cost()
+			if op.isTrunc {
+				buf = applyTrunc(buf, op.size)
+			} else {
+				buf = applyWrite(buf, op.off, op.data)
+			}
+		case budget > 0 && !op.isTrunc:
+			buf = applyWrite(buf, op.off, op.data[:budget]) // torn
+			budget = 0
+		default:
+			budget = 0
+		}
+		content[fp.name] = buf
+		if budget == 0 {
+			// Later ops never reached the platter; prefix-in-order is the
+			// model (see the package comment).
+			break
+		}
+	}
+	for name, buf := range content {
+		img.files[name] = &memFile{
+			durable:      buf,
+			data:         append([]byte(nil), buf...),
+			entryDurable: true,
+		}
+	}
+	return img
+}
+
+func applyWrite(buf []byte, off int64, data []byte) []byte {
+	end := off + int64(len(data))
+	for int64(len(buf)) < end {
+		buf = append(buf, 0)
+	}
+	copy(buf[off:end], data)
+	return buf
+}
+
+func applyTrunc(buf []byte, size int64) []byte {
+	for int64(len(buf)) < size {
+		buf = append(buf, 0)
+	}
+	return buf[:size]
+}
+
+// ReadFileRaw returns the current content of name, for tests that need to
+// damage or diff the media directly. The returned slice is a copy.
+func (m *Mem) ReadFileRaw(name string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[filepath.Clean(name)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.data...), true
+}
+
+// WriteFileRaw replaces the content of name durably and atomically (a
+// test backdoor, not an injected path — it bypasses faults and ops).
+func (m *Mem) WriteFileRaw(name string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	m.dirs[filepath.Dir(name)] = true
+	m.files[name] = &memFile{
+		durable:      append([]byte(nil), data...),
+		data:         append([]byte(nil), data...),
+		entryDurable: true,
+	}
+}
+
+// beginOp accounts one mutating operation: the crash point fires here
+// (the op is refused, not applied), and a dead disk (OpEIOAfter) refuses
+// everything past its horizon. Callers hold m.mu.
+func (m *Mem) beginOp(op, name string) error {
+	if m.crashed {
+		return fmt.Errorf("%w: %s %s", ErrCrashed, op, name)
+	}
+	m.ops++
+	if m.crashAt > 0 && m.ops >= m.crashAt {
+		m.crashed = true
+		return fmt.Errorf("%w: %s %s (op %d)", ErrCrashed, op, name, m.ops)
+	}
+	if m.faults.OpEIOAfter > 0 && m.ops > m.faults.OpEIOAfter {
+		m.record(faultPermanentEIO, name, uint64(m.ops))
+		return fmt.Errorf("%w: disk dead after op %d (%s %s)", ErrDiskFault, m.faults.OpEIOAfter, op, name)
+	}
+	return nil
+}
+
+// alive gates non-mutating operations (reads, seeks): they fail once the
+// crash fired or the disk died, but do not advance the op counter.
+func (m *Mem) alive(op, name string) error {
+	if m.crashed {
+		return fmt.Errorf("%w: %s %s", ErrCrashed, op, name)
+	}
+	if m.faults.OpEIOAfter > 0 && m.ops > m.faults.OpEIOAfter {
+		return fmt.Errorf("%w: disk dead (%s %s)", ErrDiskFault, op, name)
+	}
+	return nil
+}
+
+// MkdirAll implements FS. Directory creation is one op when it creates
+// anything; directories themselves are modeled as always durable once
+// created (only file ENTRIES carry the create-durability hazard).
+func (m *Mem) MkdirAll(dir string, _ os.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = filepath.Clean(dir)
+	if m.dirs[dir] {
+		if m.crashed {
+			return fmt.Errorf("%w: mkdir %s", ErrCrashed, dir)
+		}
+		return nil
+	}
+	if err := m.beginOp("mkdir", dir); err != nil {
+		return err
+	}
+	for d := dir; ; d = filepath.Dir(d) {
+		if m.dirs[d] {
+			break
+		}
+		m.dirs[d] = true
+	}
+	return nil
+}
+
+// OpenFile implements FS.
+func (m *Mem) OpenFile(name string, flag int, _ os.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if err := m.alive("open", name); err != nil {
+		return nil, err
+	}
+	f, ok := m.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, notExist("open", name)
+		}
+		if !m.dirs[filepath.Dir(name)] {
+			return nil, notExist("open", name)
+		}
+		if err := m.beginOp("create", name); err != nil {
+			return nil, err
+		}
+		f = &memFile{}
+		m.files[name] = f
+	} else if flag&os.O_TRUNC != 0 {
+		if err := m.beginOp("trunc", name); err != nil {
+			return nil, err
+		}
+		f.data = f.data[:0]
+		f.pending = append(f.pending, pendingOp{seq: m.nextSeq(), isTrunc: true})
+	}
+	return &memHandle{m: m, f: f, name: name, writable: flag&(os.O_WRONLY|os.O_RDWR) != 0}, nil
+}
+
+// Remove implements FS.
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if err := m.beginOp("remove", name); err != nil {
+		return err
+	}
+	if _, ok := m.files[name]; !ok {
+		return notExist("remove", name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// SyncDir implements FS: makes the directory entries of dir's files
+// durable. Subject to the same lie/EIO faults as file syncs.
+func (m *Mem) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = filepath.Clean(dir)
+	if err := m.beginOp("syncdir", dir); err != nil {
+		return err
+	}
+	if !m.dirs[dir] {
+		return notExist("syncdir", dir)
+	}
+	if m.roll(m.faults.SyncEIOProb, faultSyncEIO, dir) {
+		return fmt.Errorf("%w: fsync %s", ErrDiskFault, dir)
+	}
+	if m.roll(m.faults.SyncLieProb, faultSyncLie, dir) {
+		return nil // acked, not persisted
+	}
+	for name, f := range m.files {
+		if filepath.Dir(name) == dir {
+			f.entryDurable = true
+		}
+	}
+	return nil
+}
+
+func (m *Mem) nextSeq() int {
+	m.seq++
+	return m.seq
+}
+
+// memHandle is one open file descriptor.
+type memHandle struct {
+	m        *Mem
+	f        *memFile
+	name     string
+	pos      int64
+	writable bool
+	closed   bool
+}
+
+var _ File = (*memHandle)(nil)
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if err := m.alive("read", h.name); err != nil {
+		return 0, err
+	}
+	if h.pos >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.pos:])
+	m.rot(h.name, h.pos, p[:n])
+	h.pos += int64(n)
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if !h.writable {
+		return 0, fmt.Errorf("errfs: write on read-only handle %s", h.name)
+	}
+	if err := m.beginOp("write", h.name); err != nil {
+		return 0, err
+	}
+	apply := func(data []byte) {
+		h.f.data = applyWrite(h.f.data, h.pos, data)
+		h.f.pending = append(h.f.pending, pendingOp{
+			seq: m.nextSeq(), off: h.pos, data: append([]byte(nil), data...),
+		})
+		h.pos += int64(len(data))
+		m.written += int64(len(data))
+	}
+	if limit := m.faults.NoSpaceAfter; limit > 0 {
+		avail := limit - m.written
+		if avail < int64(len(p)) {
+			m.record(faultNoSpace, h.name, uint64(m.ops))
+			if avail > 0 {
+				apply(p[:avail])
+				return int(avail), fmt.Errorf("%w: %s", ErrNoSpace, h.name)
+			}
+			return 0, fmt.Errorf("%w: %s", ErrNoSpace, h.name)
+		}
+	}
+	if m.roll(m.faults.WriteEIOProb, faultWriteEIO, h.name) {
+		return 0, fmt.Errorf("%w: write %s", ErrDiskFault, h.name)
+	}
+	if len(p) > 0 && m.roll(m.faults.ShortWriteProb, faultShortWrite, h.name) {
+		n := int(m.draw(faultShortWrite, h.name) % uint64(len(p))) // in [0, len)
+		apply(p[:n])
+		return n, fmt.Errorf("%w: short write %s (%d of %d)", ErrDiskFault, h.name, n, len(p))
+	}
+	apply(p)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	if err := m.beginOp("sync", h.name); err != nil {
+		return err
+	}
+	if m.roll(m.faults.SyncEIOProb, faultSyncEIO, h.name) {
+		return fmt.Errorf("%w: fsync %s", ErrDiskFault, h.name)
+	}
+	if m.roll(m.faults.SyncLieProb, faultSyncLie, h.name) {
+		return nil // the lie: acked durable, pending stays volatile
+	}
+	h.f.durable = append(h.f.durable[:0], h.f.data...)
+	h.f.pending = nil
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	if err := m.beginOp("truncate", h.name); err != nil {
+		return err
+	}
+	if m.roll(m.faults.WriteEIOProb, faultWriteEIO, h.name) {
+		return fmt.Errorf("%w: truncate %s", ErrDiskFault, h.name)
+	}
+	h.f.data = applyTrunc(h.f.data, size)
+	h.f.pending = append(h.f.pending, pendingOp{seq: m.nextSeq(), isTrunc: true, size: size})
+	return nil
+}
+
+func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if err := m.alive("seek", h.name); err != nil {
+		return 0, err
+	}
+	switch whence {
+	case io.SeekStart:
+		h.pos = offset
+	case io.SeekCurrent:
+		h.pos += offset
+	case io.SeekEnd:
+		h.pos = int64(len(h.f.data)) + offset
+	default:
+		return 0, fmt.Errorf("errfs: bad whence %d", whence)
+	}
+	if h.pos < 0 {
+		return 0, fmt.Errorf("errfs: negative seek on %s", h.name)
+	}
+	return h.pos, nil
+}
+
+func (h *memHandle) Close() error {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.closed = true
+	if m.crashed {
+		return fmt.Errorf("%w: close %s", ErrCrashed, h.name)
+	}
+	return nil
+}

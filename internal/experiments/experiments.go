@@ -93,6 +93,7 @@ func All(quick bool) []Table {
 		E17FaultSweep(quick),
 		E18CrashRecovery(quick),
 		E19IngressSweep(quick),
+		E20StorageFaults(quick),
 	}
 }
 
@@ -137,6 +138,8 @@ func ByID(id string, quick bool) (Table, error) {
 		return E18CrashRecovery(quick), nil
 	case "E19":
 		return E19IngressSweep(quick), nil
+	case "E20":
+		return E20StorageFaults(quick), nil
 	default:
 		return Table{}, fmt.Errorf("experiments: unknown experiment %q", id)
 	}

@@ -91,3 +91,24 @@ func TestE19IngressQuick(t *testing.T) {
 		}
 	}
 }
+
+// TestE20StorageQuick gates the storage-fault sweep in CI: the quick row
+// must report the dying disk degraded (not fatal), agreement, validity,
+// and layer-exact replay under combined storage+network faults.
+func TestE20StorageQuick(t *testing.T) {
+	tbl, err := experiments.ByID("E20", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("E20 produced no rows")
+	}
+	for _, row := range tbl.Rows {
+		// columns: n t instances kills attempts degraded agree validity replay
+		for _, cell := range row[5:9] {
+			if cell != "ok" {
+				t.Errorf("E20 n=%s: %v", row[0], row)
+			}
+		}
+	}
+}

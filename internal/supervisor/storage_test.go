@@ -1,0 +1,103 @@
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"convexagreement/internal/checkpoint"
+)
+
+func storageCfg() Config {
+	return Config{
+		Delta:       5 * time.Millisecond,
+		StallRounds: 100,
+		MaxRestarts: 3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  time.Millisecond,
+	}
+}
+
+// TestDegradedStorageIsNotTerminal: a party reporting degraded storage
+// that SUCCEEDS must return success with the condition in Health — the
+// degrade-and-continue policy means impaired durability is an annotation,
+// not a failure.
+func TestDegradedStorageIsNotTerminal(t *testing.T) {
+	degraded := fmt.Errorf("%w: copy wal2: injected", checkpoint.ErrStorageDegraded)
+	health, err := Run(storageCfg(), func(a *Attempt) error {
+		a.ReportStorage(degraded)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("degraded-but-successful party failed the run: %v", err)
+	}
+	if !errors.Is(health.Storage, checkpoint.ErrStorageDegraded) {
+		t.Fatalf("Health.Storage = %v", health.Storage)
+	}
+	if s := health.String(); !strings.Contains(s, "storage=degraded") {
+		t.Fatalf("health line %q missing storage=degraded", s)
+	}
+}
+
+// TestDegradedStorageStillRestarts: a party that fails for an unrelated
+// reason while degraded burns the normal restart budget — degradation
+// does not short-circuit triage.
+func TestDegradedStorageStillRestarts(t *testing.T) {
+	degraded := fmt.Errorf("%w: copy wal: injected", checkpoint.ErrStorageDegraded)
+	runs := 0
+	health, err := Run(storageCfg(), func(a *Attempt) error {
+		runs++
+		a.ReportStorage(degraded)
+		if runs < 3 {
+			return errors.New("transient network failure")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("party never allowed to retry: %v", err)
+	}
+	if health.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", health.Attempts)
+	}
+}
+
+// TestStorageLostFailsFast: a party that fails while reporting storage
+// LOST gets the typed terminal error on the first attempt — no restart
+// can resurrect a dead state directory.
+func TestStorageLostFailsFast(t *testing.T) {
+	lost := fmt.Errorf("%w: every WAL copy failed", checkpoint.ErrStorageLost)
+	health, err := Run(storageCfg(), func(a *Attempt) error {
+		a.ReportStorage(lost)
+		return errors.New("session resume failed")
+	})
+	if !errors.Is(err, ErrStorageLost) {
+		t.Fatalf("got %v, want ErrStorageLost", err)
+	}
+	if health.Attempts != 1 {
+		t.Fatalf("burned %d attempts against a dead disk, want 1", health.Attempts)
+	}
+	if s := health.String(); !strings.Contains(s, "storage=lost") {
+		t.Fatalf("health line %q missing storage=lost", s)
+	}
+}
+
+// TestStorageLostInPartyError: the fail-fast also triggers when the LOST
+// condition arrives as the party's returned error chain (e.g. Resume
+// failing before any ReportStorage call).
+func TestStorageLostInPartyError(t *testing.T) {
+	health, err := Run(storageCfg(), func(a *Attempt) error {
+		return fmt.Errorf("resume: %w", checkpoint.ErrStorageLost)
+	})
+	if !errors.Is(err, ErrStorageLost) {
+		t.Fatalf("got %v, want ErrStorageLost", err)
+	}
+	var he *HealthError
+	if !errors.As(err, &he) {
+		t.Fatal("terminal error missing Health")
+	}
+	if health.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", health.Attempts)
+	}
+}

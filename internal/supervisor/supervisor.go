@@ -13,12 +13,15 @@
 //	idle ─▶ running ──error──▶ triage ──restart budget left──┘
 //	          │                  │
 //	          │ stall            ├── live peers < n−t ─▶ ErrQuorumLost
-//	          ▼                  └── budget exhausted ─▶ ErrRestartsExhausted
-//	     abort + ErrStalled
+//	          ▼                  ├── storage lost ─▶ ErrStorageLost
+//	     abort + ErrStalled      └── budget exhausted ─▶ ErrRestartsExhausted
 //
 // Degradation is graceful by design: a party that cannot possibly make
-// progress (quorum lost) fails fast with a structured health report
-// instead of burning its restart budget against a dead mesh.
+// progress (quorum lost) or recover (checkpoint storage lost) fails fast
+// with a structured health report instead of burning its restart budget
+// against a dead mesh or a dead disk; a party whose storage merely
+// DEGRADED keeps running with checkpointing disabled and the condition
+// surfaced in Health.Storage.
 package supervisor
 
 import (
@@ -27,6 +30,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"convexagreement/internal/checkpoint"
 )
 
 // Typed failures surfaced by Run. Use errors.Is; the concrete error is a
@@ -40,6 +45,13 @@ var (
 	ErrQuorumLost = errors.New("supervisor: quorum lost")
 	// ErrRestartsExhausted means the restart budget ran out.
 	ErrRestartsExhausted = errors.New("supervisor: restart budget exhausted")
+	// ErrStorageLost means the party failed while its checkpoint storage
+	// was reported lost (checkpoint.ErrStorageLost): no restart can
+	// recover state from a dead disk, so the budget is not burned against
+	// it. Degraded storage (checkpoint.ErrStorageDegraded) is NOT
+	// terminal — the party keeps running without recovery and the
+	// condition is surfaced in Health.Storage.
+	ErrStorageLost = errors.New("supervisor: checkpoint storage lost")
 )
 
 // Config bounds the watchdog. Zero values take the documented defaults.
@@ -97,6 +109,12 @@ type Health struct {
 	// resource attack — the overload signal an operator reads first when a
 	// run degrades.
 	Demotions map[string]int
+	// Storage is the party's last reported checkpoint-storage condition:
+	// nil while healthy, an error wrapping checkpoint.ErrStorageDegraded
+	// when the party is running with impaired or disabled checkpointing
+	// (liveness preserved, crash recovery forfeited), or one wrapping
+	// checkpoint.ErrStorageLost when the state directory is unusable.
+	Storage error
 	// LastErr is the error that ended the final attempt, nil on success.
 	LastErr error
 }
@@ -122,7 +140,23 @@ func (h Health) String() string {
 			s += fmt.Sprintf("%s:%d", r, h.Demotions[r])
 		}
 	}
+	if h.Storage != nil {
+		s += " storage=" + storageWord(h.Storage)
+	}
 	return s + " last_err=" + last
+}
+
+// storageWord compresses a storage condition into the one word an
+// operator greps for.
+func storageWord(err error) string {
+	switch {
+	case errors.Is(err, checkpoint.ErrStorageLost):
+		return "lost"
+	case errors.Is(err, checkpoint.ErrStorageDegraded):
+		return "degraded"
+	default:
+		return "error"
+	}
 }
 
 // HealthError is a terminal supervisor error with the final Health report.
@@ -146,6 +180,7 @@ type Attempt struct {
 	abort     func()        // tears the party's transport down on stall
 	live      int
 	demotions map[string]int
+	storage   error
 }
 
 // Progress registers the round-counter probe the watchdog polls; the party
@@ -190,6 +225,24 @@ func (a *Attempt) ReportDemotions(byReason map[string]int) {
 	a.mu.Unlock()
 }
 
+// ReportStorage records the party's checkpoint-storage condition —
+// typically (*Session).StorageErr() — for Health and the fail-fast
+// triage: a party that fails while reporting checkpoint.ErrStorageLost
+// gets ErrStorageLost instead of a futile restart; a degraded report
+// only annotates Health (degrade-and-continue is the party's policy, the
+// supervisor just makes it visible).
+func (a *Attempt) ReportStorage(err error) {
+	a.mu.Lock()
+	a.storage = err
+	a.mu.Unlock()
+}
+
+func (a *Attempt) storageReport() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.storage
+}
+
 func (a *Attempt) snapshot() (func() uint64, func(), int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -226,6 +279,9 @@ func Run(cfg Config, party func(*Attempt) error) (Health, error) {
 		if d := a.demotionReport(); d != nil {
 			health.Demotions = d
 		}
+		if serr := a.storageReport(); serr != nil {
+			health.Storage = serr
+		}
 		health.LastErr = err
 		if stalled {
 			health.Stalls++
@@ -241,6 +297,12 @@ func Run(cfg Config, party func(*Attempt) error) (Health, error) {
 		}
 		if cfg.N > 0 && live >= 0 && live < cfg.N-cfg.T {
 			return health, &HealthError{Health: health, base: ErrQuorumLost}
+		}
+		// A party that died with its checkpoint storage LOST cannot be
+		// restarted into recovery — the state directory itself is gone.
+		// Fail fast with the typed cause instead of burning the budget.
+		if errors.Is(err, checkpoint.ErrStorageLost) || errors.Is(health.Storage, checkpoint.ErrStorageLost) {
+			return health, &HealthError{Health: health, base: ErrStorageLost}
 		}
 		if attempt >= cfg.MaxRestarts {
 			return health, &HealthError{Health: health, base: ErrRestartsExhausted}

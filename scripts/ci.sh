@@ -26,13 +26,18 @@ go run ./cmd/calint ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (root, sim, rs, gf16, pool, merkle, wire, tcpnet, channet, faultnet, mux, asyncnet, checkpoint, supervisor, adversary, netattack)"
-go test -race -short . ./internal/sim/... ./internal/rs/... ./internal/gf16/... ./internal/pool/... ./internal/merkle/... ./internal/wire/... ./internal/tcpnet/... ./internal/channet/... ./internal/faultnet/... ./internal/mux/... ./internal/asyncnet/... ./internal/checkpoint/... ./internal/supervisor/... ./internal/adversary/... ./internal/netattack/...
+echo "== go test -race (root, sim, rs, gf16, pool, merkle, wire, tcpnet, channet, faultnet, mux, asyncnet, checkpoint, errfs, supervisor, adversary, netattack)"
+go test -race -short . ./internal/sim/... ./internal/rs/... ./internal/gf16/... ./internal/pool/... ./internal/merkle/... ./internal/wire/... ./internal/tcpnet/... ./internal/channet/... ./internal/faultnet/... ./internal/mux/... ./internal/asyncnet/... ./internal/checkpoint/... ./internal/errfs/... ./internal/supervisor/... ./internal/adversary/... ./internal/netattack/...
 
 echo "== ingress battery (E19 active-adversary sweep + kill+flood soak + transport flood conformance)"
 go test -run 'TestE19IngressQuick' -count=1 ./internal/experiments/
 go test -run 'TestSoakKillFlood' -count=1 .
 go test -run 'TestConformanceIngress' -count=1 ./internal/channet/ ./internal/tcpnet/ ./internal/faultnet/
+
+echo "== storage battery (crash-point explorer + mirror voting + E20 sweep + storage soak)"
+go test -run 'TestCrashPointExplorer|TestMirror|TestScrub' -count=1 ./internal/checkpoint/
+go test -run 'TestE20StorageQuick' -count=1 ./internal/experiments/
+go test -run 'TestSoakStorageFaults' -count=1 .
 
 echo "== cross-compile (arm64: NEON gf16 kernel + wire path must keep building)"
 GOARCH=arm64 GOOS=linux go build ./...
@@ -50,16 +55,19 @@ if ! grep -q '"before"' "$latest"; then
 	exit 1
 fi
 
-echo "== allocs/op regression guard (zero-copy frame path and admission fast path must stay at 0)"
-# Re-measure the pooled frame round-trip plus the admission-gated read and
-# compare allocs/op against the checked-in record. Allocation counts are
-# deterministic, so this gates without flaking; a regression here means the
-# zero-copy path grew a hidden allocation or the per-frame admission check
-# started allocating on honest traffic.
-go test -run '^$' -bench 'BenchmarkFrameRoundTrip|BenchmarkAdmission' -benchtime 100x -benchmem ./internal/wire/ \
-	| go run ./cmd/benchjson -before "$latest" -guard-allocs 'FrameRoundTrip|Admission' > /dev/null
+echo "== allocs/op regression guard (zero-copy frame path, admission fast path, default-FS WAL append)"
+# Re-measure the pooled frame round-trip, the admission-gated read, and the
+# checkpoint append on the real filesystem, then compare allocs/op against
+# the checked-in record. Allocation counts are deterministic, so this gates
+# without flaking; a regression here means the zero-copy path grew a hidden
+# allocation, the per-frame admission check started allocating on honest
+# traffic, or the errfs VFS seam leaked an allocation into the default-FS
+# append path (the seam's zero-overhead contract).
+( go test -run '^$' -bench 'BenchmarkFrameRoundTrip|BenchmarkAdmission' -benchtime 100x -benchmem ./internal/wire/ ; \
+  go test -run '^$' -bench 'BenchmarkWALAppend$' -benchtime 100x -benchmem ./internal/checkpoint/ ) \
+	| go run ./cmd/benchjson -before "$latest" -guard-allocs 'FrameRoundTrip|Admission|WALAppend$' > /dev/null
 
-echo "== go test -fuzz smoke (wire frames x2, admission, baplus tuples, checkpoint WAL)"
+echo "== go test -fuzz smoke (wire frames x2, admission, baplus tuples, checkpoint WAL, scrub)"
 # FuzzReadFrame and FuzzReadFrameInto share a prefix; go test refuses a -fuzz
 # pattern matching more than one target, so each needs an anchored pattern.
 go test -run '^$' -fuzz 'FuzzReadFrame$' -fuzztime 5s ./internal/wire/
@@ -67,5 +75,6 @@ go test -run '^$' -fuzz 'FuzzReadFrameInto$' -fuzztime 5s ./internal/wire/
 go test -run '^$' -fuzz FuzzAdmission -fuzztime 5s ./internal/wire/
 go test -run '^$' -fuzz FuzzDecode -fuzztime 5s ./internal/baplus/
 go test -run '^$' -fuzz FuzzInspectState -fuzztime 5s ./internal/checkpoint/
+go test -run '^$' -fuzz FuzzScrub -fuzztime 5s ./internal/checkpoint/
 
 echo "CI OK"

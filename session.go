@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 
 	"convexagreement/internal/aa"
 	"convexagreement/internal/checkpoint"
+	"convexagreement/internal/errfs"
 	"convexagreement/internal/transport"
 )
 
@@ -36,10 +39,11 @@ type Session struct {
 	rounds atomic.Uint64 // total rounds exchanged, watchdog-probe safe
 	digest uint64        // FNV-1a over every delivered round (replayed + live)
 
-	log      *checkpoint.Log      // nil when not checkpointing
-	partial  *checkpoint.Instance // pending replay after Resume
-	replay   [][]transport.Message
-	replayAt int
+	log        *checkpoint.Log      // nil when not checkpointing
+	partial    *checkpoint.Instance // pending replay after Resume
+	replay     [][]transport.Message
+	replayAt   int
+	storageErr error // sticky degraded-storage condition; see StorageErr
 }
 
 // NewSession wraps a connected transport.
@@ -80,13 +84,35 @@ func (s *Session) Rounds() uint64 { return s.rounds.Load() }
 // same rounds — yield identical digests.
 func (s *Session) Transcript() uint64 { return s.digest }
 
+// StorageOptions configures how a checkpoint directory is kept. The zero
+// value is the default: single-copy WAL on the real filesystem.
+type StorageOptions struct {
+	// Mirror enables the dual-copy WAL: every record is written and
+	// fsync'd to two files, recovery votes for the longest intact prefix
+	// and repairs the other copy, so any damage confined to one copy
+	// (bit rot included) loses nothing.
+	Mirror bool
+	// FS overrides the filesystem — the storage-fault seam used by tests
+	// and soaks (internal/errfs.Mem). nil means the real filesystem.
+	FS errfs.FS
+}
+
+func (o StorageOptions) checkpointOptions() checkpoint.Options {
+	return checkpoint.Options{FS: o.FS, Mirror: o.Mirror}
+}
+
 // Checkpoint enables durable write-ahead logging of this session into dir:
 // instance parameters and every completed round's inbox are CRC-framed,
 // appended, and fsync'd, so the session can be resumed after a crash (see
 // Resume). dir must not already contain session state; use Resume to
 // continue an existing checkpoint.
 func (s *Session) Checkpoint(dir string) error {
-	log, st, err := checkpoint.Open(dir)
+	return s.CheckpointOpts(dir, StorageOptions{})
+}
+
+// CheckpointOpts is Checkpoint with explicit storage options.
+func (s *Session) CheckpointOpts(dir string, o StorageOptions) error {
+	log, st, err := checkpoint.OpenOptions(dir, o.checkpointOptions())
 	if err != nil {
 		return err
 	}
@@ -99,6 +125,7 @@ func (s *Session) Checkpoint(dir string) error {
 		return err
 	}
 	s.log = log
+	s.storageErr = log.Degraded() // mirrored open may already run on one copy
 	return nil
 }
 
@@ -114,7 +141,12 @@ func (s *Session) Checkpoint(dir string) error {
 // reported by InspectState, and a fault-injection wrapper is re-created
 // with WrapFaultyAt at the same round.
 func (s *Session) Resume(dir string) error {
-	log, st, err := checkpoint.Open(dir)
+	return s.ResumeOpts(dir, StorageOptions{})
+}
+
+// ResumeOpts is Resume with explicit storage options.
+func (s *Session) ResumeOpts(dir string, o StorageOptions) error {
+	log, st, err := checkpoint.OpenOptions(dir, o.checkpointOptions())
 	if err != nil {
 		return err
 	}
@@ -132,7 +164,35 @@ func (s *Session) Resume(dir string) error {
 	s.log = log
 	s.seq = st.Seq
 	s.partial = st.Partial
+	s.storageErr = log.Degraded()
 	return nil
+}
+
+// StorageErr returns the session's sticky storage condition: nil while
+// checkpoint storage is fully healthy, an error wrapping
+// checkpoint.ErrStorageDegraded after the WAL degraded (one mirror copy
+// down, or checkpointing disabled entirely — see the degrade-and-continue
+// policy on Exchange). Safe to read between instances; a supervisor
+// forwards it via Attempt.ReportStorage.
+func (s *Session) StorageErr() error { return s.storageErr }
+
+// noteStorageFailure implements the degrade-and-continue policy: a WAL
+// append that fails with a typed storage error stops checkpointing but
+// does NOT poison the session — the party keeps participating (liveness,
+// agreement, and hull validity don't depend on its disk), it merely
+// forfeits crash recovery. Returns true if the error was a storage
+// condition that has been absorbed; false means the caller must treat it
+// as fatal.
+func (s *Session) noteStorageFailure(err error) bool {
+	if !errors.Is(err, checkpoint.ErrStorageDegraded) && !errors.Is(err, checkpoint.ErrStorageLost) {
+		return false
+	}
+	s.storageErr = err
+	if s.log != nil {
+		_ = s.log.Close() // best effort; the WAL is already being abandoned
+		s.log = nil
+	}
+	return true
 }
 
 // SessionState is what InspectState recovered from a checkpoint directory.
@@ -152,9 +212,59 @@ type SessionState struct {
 // the first step of a restart, run before the transport is dialed. A
 // missing or empty checkpoint yields the zero state.
 func InspectState(dir string) (SessionState, error) {
-	st, err := checkpoint.Inspect(dir)
+	return InspectStateOpts(dir, StorageOptions{})
+}
+
+// InspectStateOpts is InspectState with explicit storage options.
+func InspectStateOpts(dir string, o StorageOptions) (SessionState, error) {
+	st, err := checkpoint.InspectOptions(dir, o.checkpointOptions())
 	if err != nil {
 		return SessionState{}, err
+	}
+	return SessionState{Seq: st.Seq, NextRound: st.NextRound, Partial: st.Partial != nil}, nil
+}
+
+// ErrStateDir reports an unusable checkpoint directory at startup:
+// missing and uncreatable, unwritable, unreadable, or holding state for a
+// different mesh geometry. Deployments check it BEFORE dialing peers —
+// failing fast beats joining the mesh and dying on the first append.
+var ErrStateDir = errors.New("convexagreement: unusable state directory")
+
+// ValidateStateDir fail-fast-checks a checkpoint directory for a party of
+// an (n, t) mesh: the directory must exist (it is created if missing), be
+// writable (probed with a real create+fsync+remove cycle), its WAL must
+// replay, and any recorded meta must match the mesh geometry. Returns the
+// recovered state so callers skip a second Inspect. All failures wrap
+// ErrStateDir; storage-level causes additionally retain their typed cause
+// (checkpoint.ErrStorageLost, ErrCorrupt) in the chain.
+func ValidateStateDir(dir string, n, t int, o StorageOptions) (SessionState, error) {
+	fs := o.FS
+	if fs == nil {
+		fs = errfs.OS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return SessionState{}, fmt.Errorf("%w: cannot create %s: %v", ErrStateDir, dir, err)
+	}
+	probe := filepath.Join(dir, ".probe")
+	f, err := fs.OpenFile(probe, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return SessionState{}, fmt.Errorf("%w: %s is not writable: %v", ErrStateDir, dir, err)
+	}
+	_, werr := f.Write([]byte("probe"))
+	serr := f.Sync()
+	cerr := f.Close()
+	_ = fs.Remove(probe) // best effort; a stale probe file is harmless
+	if werr != nil || serr != nil || cerr != nil {
+		return SessionState{}, fmt.Errorf("%w: %s failed the write probe (write=%v sync=%v close=%v)",
+			ErrStateDir, dir, werr, serr, cerr)
+	}
+	st, err := checkpoint.InspectOptions(dir, o.checkpointOptions())
+	if err != nil {
+		return SessionState{}, fmt.Errorf("%w: %w", ErrStateDir, err)
+	}
+	if st.HasMeta && (st.N != n || st.T != t) {
+		return SessionState{}, fmt.Errorf("%w: %s holds state for n=%d t=%d, mesh is n=%d t=%d",
+			ErrStateDir, dir, st.N, st.T, n, t)
 	}
 	return SessionState{Seq: st.Seq, NextRound: st.NextRound, Partial: st.Partial != nil}, nil
 }
@@ -236,7 +346,7 @@ func (s *Session) runInstance(inst *checkpoint.Instance, run func(transport.Net)
 		s.replayAt = 0
 		s.partial = nil
 	} else if s.log != nil {
-		if err := s.log.AppendInstance(inst); err != nil {
+		if err := s.log.AppendInstance(inst); err != nil && !s.noteStorageFailure(err) {
 			s.err = fmt.Errorf("%w: %v", ErrSessionPoisoned, err)
 			return nil, err
 		}
@@ -255,7 +365,7 @@ func (s *Session) runInstance(inst *checkpoint.Instance, run func(transport.Net)
 	}
 	s.replay, s.replayAt = nil, 0
 	if s.log != nil {
-		if err := s.log.AppendEnd(out); err != nil {
+		if err := s.log.AppendEnd(out); err != nil && !s.noteStorageFailure(err) {
 			s.err = fmt.Errorf("%w: %v", ErrSessionPoisoned, err)
 			return nil, err
 		}
@@ -313,7 +423,7 @@ func (n sessionNet) Exchange(out []transport.Packet) ([]transport.Message, error
 		return nil, err
 	}
 	if s.log != nil {
-		if err := s.log.AppendRound(msgs); err != nil {
+		if err := s.log.AppendRound(msgs); err != nil && !s.noteStorageFailure(err) {
 			return nil, err
 		}
 	}

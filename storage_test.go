@@ -1,0 +1,214 @@
+package convexagreement_test
+
+// Session- and deployment-level storage-fault policy tests: the
+// degrade-and-continue contract (a dying disk never costs the mesh a
+// party), mirrored session checkpoints, and the fail-fast state-directory
+// validation.
+
+import (
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+
+	ca "convexagreement"
+	"convexagreement/internal/checkpoint"
+	"convexagreement/internal/errfs"
+)
+
+// TestSessionDegradeAndContinue kills party 0's disk mid-session
+// (permanent EIO after a fixed op budget) and asserts the degraded party
+// KEEPS PARTICIPATING: every instance still agrees across all parties,
+// Seq advances, and the condition is surfaced through StorageErr — not as
+// a poisoned session.
+func TestSessionDegradeAndContinue(t *testing.T) {
+	const n, instances = 4, 3
+	locals, err := ca.NewLocalCluster(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := errfs.NewMem(errfs.Faults{OpEIOAfter: 40}) // dies mid-instance 0
+
+	var (
+		wg   sync.WaitGroup
+		outs [n][instances]*big.Int
+		errs [n]error
+		sErr error
+	)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer locals[i].Close()
+			s := ca.NewSession(locals[i])
+			if i == 0 {
+				if err := s.CheckpointOpts("state", ca.StorageOptions{FS: mem}); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			defer func() { _ = s.Close() }()
+			for seq := 0; seq < instances; seq++ {
+				out, err := s.Agree(ca.ProtoOptimal, 0, big.NewInt(int64(10*seq+i+1)))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				outs[i][seq] = out
+			}
+			if i == 0 {
+				sErr = s.StorageErr()
+				if s.Seq() != uint64(instances) {
+					errs[i] = errors.New("seq did not advance past degradation")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("party %d: %v", i, errs[i])
+		}
+	}
+	if !errors.Is(sErr, checkpoint.ErrStorageDegraded) {
+		t.Fatalf("StorageErr = %v, want ErrStorageDegraded", sErr)
+	}
+	if mem.Ops() <= 40 {
+		t.Fatalf("disk never died: only %d ops reached it", mem.Ops())
+	}
+	for seq := 0; seq < instances; seq++ {
+		o := outs[0][seq]
+		for i := 1; i < n; i++ {
+			if outs[i][seq] == nil || outs[i][seq].Cmp(o) != 0 {
+				t.Fatalf("instance %d: party %d disagrees (%v vs %v) — degradation broke agreement",
+					seq, i, outs[i][seq], o)
+			}
+		}
+		lo, hi := big.NewInt(int64(10*seq+1)), big.NewInt(int64(10*seq+n))
+		if o.Cmp(lo) < 0 || o.Cmp(hi) > 0 {
+			t.Fatalf("instance %d: output %v outside hull [%v, %v]", seq, o, lo, hi)
+		}
+	}
+}
+
+// TestSessionMirrorCheckpointRoundTrip checkpoints a session with the
+// mirrored WAL, corrupts one copy, and asserts ResumeOpts recovers the
+// complete state from the survivor.
+func TestSessionMirrorCheckpointRoundTrip(t *testing.T) {
+	mem := errfs.NewMem(errfs.Faults{})
+	locals, err := ca.NewLocalCluster(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ca.NewSession(locals[0])
+	if err := s.CheckpointOpts("state", ca.StorageOptions{Mirror: true, FS: mem}); err != nil {
+		t.Fatal(err)
+	}
+	var want [2]*big.Int
+	for seq := 0; seq < 2; seq++ {
+		if want[seq], err = s.Agree(ca.ProtoOptimal, 0, big.NewInt(int64(7*seq+3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.StorageErr() != nil {
+		t.Fatalf("healthy mirrored run reported %v", s.StorageErr())
+	}
+
+	// Both copies must exist and match.
+	a, okA := mem.ReadFileRaw("state/wal")
+	b, okB := mem.ReadFileRaw("state/wal2")
+	if !okA || !okB || len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("mirror copies missing or uneven: %d vs %d bytes", len(a), len(b))
+	}
+
+	// Trash one copy completely; resume must still see the whole session.
+	mem.WriteFileRaw("state/wal", []byte("not a wal at all"))
+	st, err := ca.InspectStateOpts("state", ca.StorageOptions{Mirror: true, FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != 2 || st.Partial {
+		t.Fatalf("recovered state %+v, want Seq=2 clean boundary", st)
+	}
+	locals2, err := ca.NewLocalCluster(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := ca.NewSession(locals2[0])
+	if err := s2.ResumeOpts("state", ca.StorageOptions{Mirror: true, FS: mem}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s2.Close() }()
+	if s2.Seq() != 2 {
+		t.Fatalf("resumed Seq = %d, want 2", s2.Seq())
+	}
+	out, err := s2.Agree(ca.ProtoOptimal, 0, big.NewInt(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cmp(big.NewInt(99)) != 0 {
+		t.Fatalf("third instance output %v", out)
+	}
+}
+
+// TestValidateStateDir covers the fail-fast startup checks: fresh
+// directories pass and are created, unwritable storage is rejected with
+// ErrStateDir, and a directory holding another mesh's state is rejected
+// with the recorded and expected geometries in the message.
+func TestValidateStateDir(t *testing.T) {
+	t.Run("fresh dir passes and is created", func(t *testing.T) {
+		mem := errfs.NewMem(errfs.Faults{})
+		st, err := ca.ValidateStateDir("fresh/sub", 4, 1, ca.StorageOptions{FS: mem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Seq != 0 || st.Partial {
+			t.Fatalf("fresh dir state %+v", st)
+		}
+	})
+	t.Run("real filesystem round trip", func(t *testing.T) {
+		dir := t.TempDir()
+		if _, err := ca.ValidateStateDir(dir, 4, 1, ca.StorageOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("unwritable dir rejected", func(t *testing.T) {
+		mem := errfs.NewMem(errfs.Faults{WriteEIOProb: 1})
+		_, err := ca.ValidateStateDir("state", 4, 1, ca.StorageOptions{FS: mem})
+		if !errors.Is(err, ca.ErrStateDir) {
+			t.Fatalf("got %v, want ErrStateDir", err)
+		}
+	})
+	t.Run("dead disk rejected", func(t *testing.T) {
+		mem := errfs.NewMem(errfs.Faults{OpEIOAfter: 1})
+		_, err := ca.ValidateStateDir("state", 4, 1, ca.StorageOptions{FS: mem})
+		if !errors.Is(err, ca.ErrStateDir) {
+			t.Fatalf("got %v, want ErrStateDir", err)
+		}
+	})
+	t.Run("geometry mismatch rejected", func(t *testing.T) {
+		mem := errfs.NewMem(errfs.Faults{})
+		locals, err := ca.NewLocalCluster(1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ca.NewSession(locals[0])
+		if err := s.CheckpointOpts("state", ca.StorageOptions{FS: mem}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ca.ValidateStateDir("state", 1, 0, ca.StorageOptions{FS: mem}); err != nil {
+			t.Fatalf("matching geometry rejected: %v", err)
+		}
+		_, err = ca.ValidateStateDir("state", 7, 2, ca.StorageOptions{FS: mem})
+		if !errors.Is(err, ca.ErrStateDir) {
+			t.Fatalf("got %v, want ErrStateDir", err)
+		}
+	})
+}
