@@ -16,7 +16,10 @@ vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/calint -json ./... > /dev/null
 
-# Protocol-invariant static analysis (see DESIGN.md §2.7 and cmd/calint).
+# Protocol-invariant static analysis: the six per-package checks plus the
+# four interprocedural ones — lockorder, goroleak, errflow, bufownership-ip —
+# built on the whole-program summary engine (DESIGN.md §2.7 and §2.12;
+# `go run ./cmd/calint -explain <check>` prints any check's contract).
 lint:
 	$(GO) run ./cmd/calint ./...
 

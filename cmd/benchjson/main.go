@@ -23,6 +23,12 @@
 // allocs/op after than before. CI uses this to pin the zero-copy wire path:
 // allocation counts are deterministic, so unlike ns/op they can gate without
 // flaking.
+//
+// With -guard-time 'PATTERN=DURATION', the tool exits non-zero if any
+// benchmark matching PATTERN reports ns/op above the absolute budget. Unlike
+// -guard-allocs this needs no baseline: it gates against a wall-clock
+// contract (e.g. "the full-tree calint run stays under 60s"), so the budget
+// must be generous enough to absorb machine-speed variance.
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // metrics holds one benchmark's parsed values; pointers distinguish "not
@@ -172,6 +179,52 @@ func checkAllocGuard(pattern string, baseline, after map[string]*metrics) error 
 	return nil
 }
 
+// checkTimeGuard fails if any benchmark matching the pattern half of the
+// "PATTERN=DURATION" spec reports ns/op above the duration half. The budget
+// is absolute, so no baseline is involved; a spec matching nothing is an
+// error (a renamed benchmark must not silently disarm the gate).
+func checkTimeGuard(spec string, after map[string]*metrics) error {
+	pattern, budget, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("-guard-time %q: want PATTERN=DURATION (e.g. 'CalintFullTree=60s')", spec)
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("-guard-time %q: %v", spec, err)
+	}
+	d, err := time.ParseDuration(budget)
+	if err != nil || d <= 0 {
+		return fmt.Errorf("-guard-time %q: bad duration %q", spec, budget)
+	}
+	limit := float64(d.Nanoseconds())
+	names := make([]string, 0, len(after))
+	for name := range after {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var over []string
+	checked := 0
+	for _, name := range names {
+		m := after[name]
+		if !re.MatchString(name) || m.NsOp == nil {
+			continue
+		}
+		checked++
+		if *m.NsOp > limit {
+			over = append(over, fmt.Sprintf("%s: %s/op, budget %s",
+				name, time.Duration(*m.NsOp).Round(time.Millisecond), d))
+		}
+	}
+	if len(over) > 0 {
+		return fmt.Errorf("runtime budget exceeded:\n  %s", strings.Join(over, "\n  "))
+	}
+	if checked == 0 {
+		return fmt.Errorf("-guard-time %q matched no benchmark in the run", spec)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: runtime guard: %d benchmark(s) within %s\n", checked, d)
+	return nil
+}
+
 func main() {
 	before := flag.String("before", "", "path to a previous benchjson output (flat or {before,after}) whose latest numbers become the \"before\" section")
 	bench := flag.String("bench", "", "run `go test -bench` with this pattern instead of reading stdin")
@@ -179,6 +232,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "with -bench: forward to go test -cpuprofile")
 	memprofile := flag.String("memprofile", "", "with -bench: forward to go test -memprofile")
 	guardAllocs := flag.String("guard-allocs", "", "with -before: fail if allocs/op grew for benchmarks matching this regexp")
+	guardTime := flag.String("guard-time", "", "fail if ns/op exceeds an absolute budget, spec PATTERN=DURATION (e.g. 'CalintFullTree=60s')")
 	flag.Parse()
 
 	if *guardAllocs != "" && *before == "" {
@@ -236,6 +290,13 @@ func main() {
 
 	if *guardAllocs != "" {
 		if err := checkAllocGuard(*guardAllocs, baseline, after); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *guardTime != "" {
+		if err := checkTimeGuard(*guardTime, after); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}

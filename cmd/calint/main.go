@@ -2,11 +2,14 @@
 // (package internal/lint) over module packages and fails on any finding.
 //
 //	calint [-json] [-checks detrand,maporder,...] [packages]
+//	calint -explain <check>
 //
 // Packages default to ./... rooted at the enclosing module. Exit status:
 // 0 clean, 1 findings, 2 usage or load failure. Findings are suppressed
 // in source with `//calint:ignore <check> <reason>` on the offending
 // line or the line above; see internal/lint for the analyzer catalog.
+// -explain prints one check's contract — the same text DESIGN.md §2.12
+// embeds — with an example finding.
 package main
 
 import (
@@ -23,17 +26,34 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := flag.Bool("list", false, "list available checks and exit")
+	explain := flag.String("explain", "", "print one check's contract and example finding, then exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: calint [-json] [-checks c1,c2] [packages]\n\nchecks:\n")
+		fmt.Fprintf(os.Stderr, "usage: calint [-json] [-checks c1,c2] [packages]\n       calint -explain <check>\n\nchecks:\n")
 		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	if *explain != "" {
+		a := lint.AnalyzerByName(*explain)
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "calint: unknown check %q (see calint -list)\n", *explain)
+			os.Exit(2)
+		}
+		fmt.Printf("%s — %s\n", a.Name, a.Doc)
+		if a.Contract != "" {
+			fmt.Printf("\n%s\n", a.Contract)
+		}
+		if a.Example != "" {
+			fmt.Printf("\nexample finding:\n  %s\n", a.Example)
 		}
 		return
 	}

@@ -162,6 +162,7 @@ func ScrubOptions(dir string, o Options) (*ScrubReport, error) {
 func walkFrames(buf []byte) (records int, intact int64) {
 	r := &offsetReader{f: bytes.NewReader(buf)}
 	for {
+		//calint:ignore errflow any decode error, typed or not, just marks the end of the intact prefix; the scrubber classifies damage from the counts
 		if _, err := readRecord(r); err != nil {
 			return records, intact
 		}

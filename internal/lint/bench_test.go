@@ -1,0 +1,25 @@
+package lint
+
+import "testing"
+
+// BenchmarkCalintFullTree measures one complete analyzer run — load, type-
+// check, summary fixpoint, all ten checks — over every module package,
+// exactly what `calint ./...` does. CI pins its runtime with benchjson's
+// -guard-time so the interprocedural engine cannot silently blow the 60s
+// wall-clock budget the calint-v2 stage promises.
+func BenchmarkCalintFullTree(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		findings, err := Run(root, []string{"./..."}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) != 0 {
+			b.Fatalf("full tree not clean: %d finding(s), first: %v", len(findings), findings[0])
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package lint
+
+// bufownership-ip lifts the pooled-frame Release contract of
+// internal/wire across call boundaries. The per-package bufownership
+// check sees `f.Release(); use(f)` inside one body; it is blind to
+// `send(f); use(f)` where send's own body does the Release, and to
+// `stash(f); f.Release()` where stash stored the frame in a queue and
+// the draining goroutine owns the Release. Both shapes corrupt the
+// pool: the first is a use-after-free analog, the second a double free
+// landing on whichever party loses the race.
+//
+// The function summaries classify each *wire.Frame parameter (transitively,
+// to fixpoint): Release Always / Maybe / Never, plus Retains when the
+// callee stores the frame in a field, container, or channel — an
+// ownership transfer. This check replays each caller body through the
+// same flow-approximate interpreter as bufownership, but the events are
+// call sites instead of direct Release calls: a static call passing a
+// frame to an always-releasing parameter retires the frame; a call
+// passing it to a retaining parameter transfers ownership. Later uses
+// and later Releases of a retired or transferred frame are findings.
+// Maybe-release parameters are tracked but not reported — the caller
+// usually guards the second touch with the same condition the callee
+// used, which a flow-insensitive summary cannot see. Only call-induced
+// states are reported here; direct Release misuse stays with the
+// per-package check so no finding appears twice.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+var bufownershipIPAnalyzer = &Analyzer{
+	Name:      "bufownership-ip",
+	Doc:       "pooled wire.Frame used or released after a callee consumed it",
+	RunGlobal: runBufownershipIP,
+	Contract: "A *wire.Frame passed to a function whose summary says the parameter is always " +
+		"released (directly or through its own callees, computed to fixpoint) is retired at the " +
+		"call: any later use or Release in the caller is a finding. A frame passed to a retaining " +
+		"parameter (stored in a field, container, or channel) changes owner: the caller must not " +
+		"Release it afterwards. Reassigning the variable starts a fresh frame; goroutine and " +
+		"closure bodies are analyzed with fresh state; maybe-release parameters are tracked but " +
+		"not reported.",
+	Example: `internal/tcpnet/tcpnet.go:412:2: bufownership-ip: frame fr released after ownership moved to (*Conn).bufferTail at line 407; the retaining side releases it — releasing here double-frees the pooled buffer`,
+}
+
+// ipFact records why a frame key is no longer the caller's to touch.
+type ipFact struct {
+	pos         token.Pos // the call that changed ownership
+	callee      string
+	transferred bool // Retains (stored) rather than released
+}
+
+type ipState map[string]ipFact
+
+func (s ipState) clone() ipState {
+	c := make(ipState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func runBufownershipIP(pr *Program) {
+	pr.ensureSummaries()
+	for _, fi := range pr.infos {
+		w := &ipWalker{pr: pr, fi: fi, sites: map[*ast.CallExpr]*CallSite{}}
+		for i := range fi.Calls {
+			w.sites[fi.Calls[i].Call] = &fi.Calls[i]
+		}
+		w.stmts(fi.Decl.Body.List, ipState{}, ipState{})
+	}
+}
+
+type ipWalker struct {
+	pr    *Program
+	fi    *FuncInfo
+	sites map[*ast.CallExpr]*CallSite
+}
+
+func (w *ipWalker) stmts(list []ast.Stmt, state, deferred ipState) {
+	for _, stmt := range list {
+		w.stmt(stmt, state, deferred)
+	}
+}
+
+func (w *ipWalker) stmt(stmt ast.Stmt, state, deferred ipState) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, _, ok := frameReleaseOp(w.fi.Pass, s.X); ok {
+			w.checkRelease(s.X, state, deferred)
+			delete(state, key) // one report per retired frame, not a cascade
+			return
+		}
+		w.checkUse(s.X, state)
+		w.applyCalls(s.X, state)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkUse(e, state)
+			w.applyCalls(e, state)
+		}
+		// A fresh frame bound to the name: earlier ownership facts about
+		// the old frame no longer describe it.
+		for _, e := range s.Lhs {
+			delete(state, exprKey(e))
+			delete(deferred, exprKey(e))
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkUse(e, state)
+		}
+	case *ast.DeferStmt:
+		if key, _, ok := frameReleaseOp(w.fi.Pass, s.Call); ok {
+			w.checkRelease(s.Call, state, deferred)
+			delete(state, key)
+			return
+		}
+		for _, arg := range s.Call.Args {
+			w.checkUse(arg, state)
+		}
+		w.applyDeferredCall(s.Call, state, deferred)
+	case *ast.GoStmt:
+		// The spawned body runs with fresh state (analyzed via its own
+		// FuncInfo or not at all); only the handoff itself is checked.
+		for _, arg := range s.Call.Args {
+			w.checkUse(arg, state)
+		}
+		w.applyCalls(s.Call, state)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.checkUse(e, state)
+						w.applyCalls(e, state)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.checkUse(s.Value, state)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, state, deferred)
+	case *ast.BlockStmt:
+		w.stmts(s.List, state, deferred)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, state, deferred)
+		}
+		w.checkUse(s.Cond, state)
+		w.stmts(s.Body.List, state.clone(), deferred.clone())
+		if s.Else != nil {
+			w.stmt(s.Else, state.clone(), deferred.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, state, deferred)
+		}
+		if s.Cond != nil {
+			w.checkUse(s.Cond, state)
+		}
+		w.stmts(s.Body.List, state.clone(), deferred.clone())
+	case *ast.RangeStmt:
+		w.checkUse(s.X, state)
+		w.stmts(s.Body.List, state.clone(), deferred.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, state, deferred)
+		}
+		if s.Tag != nil {
+			w.checkUse(s.Tag, state)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, state.clone(), deferred.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, state.clone(), deferred.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, state.clone(), deferred.clone())
+			}
+		}
+	}
+}
+
+// applyCalls records the ownership effect of every static call in expr
+// whose callee summary assigns a frame parameter an Always release or a
+// Retains transfer.
+func (w *ipWalker) applyCalls(expr ast.Expr, state ipState) {
+	w.eachFrameEffect(expr, func(key string, call *ast.CallExpr, callee *FuncInfo, eff FrameEffect) {
+		switch {
+		case eff.Retains:
+			state[key] = ipFact{pos: call.Pos(), callee: displayName(callee.Fn), transferred: true}
+		case eff.Release == ReleaseAlways:
+			state[key] = ipFact{pos: call.Pos(), callee: displayName(callee.Fn)}
+		}
+	})
+}
+
+// applyDeferredCall handles `defer g(f)` for an always-releasing g: the
+// release fires at function exit, so later sequential uses stay legal
+// but any other Release of the frame is a double release.
+func (w *ipWalker) applyDeferredCall(call *ast.CallExpr, state, deferred ipState) {
+	w.eachFrameEffect(call, func(key string, c *ast.CallExpr, callee *FuncInfo, eff FrameEffect) {
+		if eff.Release == ReleaseAlways && !eff.Retains {
+			deferred[key] = ipFact{pos: c.Pos(), callee: displayName(callee.Fn)}
+		}
+	})
+}
+
+// eachFrameEffect visits every (frame argument, callee effect) pair of
+// the static single-callee calls inside expr, in lexical order. Function
+// literals are skipped: their bodies run elsewhere with fresh state.
+func (w *ipWalker) eachFrameEffect(expr ast.Expr, visit func(key string, call *ast.CallExpr, callee *FuncInfo, eff FrameEffect)) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		cs := w.sites[call]
+		if cs == nil || cs.Iface || len(cs.Callees) != 1 {
+			return true
+		}
+		callee := cs.Callees[0]
+		if len(callee.Sum.FrameParams) == 0 {
+			return true
+		}
+		for i, arg := range call.Args {
+			eff, ok := callee.Sum.FrameParams[i]
+			if !ok {
+				continue
+			}
+			a := ast.Unparen(arg)
+			switch a.(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+			default:
+				continue
+			}
+			if !isFramePtr(w.fi.Pass, arg) {
+				continue
+			}
+			visit(exprKey(a), call, callee, eff)
+		}
+		return true
+	})
+}
+
+// checkRelease reports a direct Release (or deferred Release) of a frame
+// a callee already consumed.
+func (w *ipWalker) checkRelease(expr ast.Expr, state, deferred ipState) {
+	key, pos, ok := frameReleaseOp(w.fi.Pass, expr)
+	if !ok {
+		return
+	}
+	p := w.fi.Pass
+	if fact, hit := state[key]; hit {
+		if fact.transferred {
+			w.pr.Reportf(p, pos,
+				"frame %s released after ownership moved to %s at line %d; the retaining side releases it — releasing here double-frees the pooled buffer",
+				key, fact.callee, p.Fset.Position(fact.pos).Line)
+		} else {
+			w.pr.Reportf(p, pos,
+				"frame %s released twice: %s already released it at line %d; the second Release panics and would poison the pool",
+				key, fact.callee, p.Fset.Position(fact.pos).Line)
+		}
+		return
+	}
+	if fact, hit := deferred[key]; hit {
+		w.pr.Reportf(p, pos,
+			"frame %s released twice: deferred call to %s at line %d also releases it; the second Release panics and would poison the pool",
+			key, fact.callee, p.Fset.Position(fact.pos).Line)
+	}
+}
+
+// checkUse reports any appearance of a consumed frame inside expr. The
+// call currently being applied has not updated state yet, so its own
+// arguments are never self-flagged.
+func (w *ipWalker) checkUse(expr ast.Expr, state ipState) {
+	if len(state) == 0 || expr == nil {
+		return
+	}
+	p := w.fi.Pass
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		fact, hit := state[exprKey(e)]
+		if !hit {
+			return true
+		}
+		if fact.transferred {
+			// Reads of a transferred frame are the new owner's race to
+			// lose, not a pool-corruption bug; only Release is reported
+			// (in checkRelease).
+			return false
+		}
+		w.pr.Reportf(p, e.Pos(),
+			"frame %s used after %s released it at line %d; the pooled buffer may already be reused — copy what you need before the handoff",
+			exprKey(e), fact.callee, p.Fset.Position(fact.pos).Line)
+		return false
+	})
+}

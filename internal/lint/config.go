@@ -51,6 +51,14 @@ func appliesTo(check, rel string) bool {
 		return !matchAny(rel, harnessPkgs)
 	case "errdrop", "mutexhold", "bufownership":
 		return !matchAny(rel, harnessPkgs)
+	case "lockorder", "goroleak", "bufownership-ip":
+		// Interprocedural liveness contracts hold everywhere protocol or
+		// transport code runs; only test scaffolding is exempt.
+		return !matchAny(rel, harnessPkgs)
+	case "errflow":
+		// Drivers legitimately collapse typed errors into exit codes and
+		// human-readable output at the very end of the process.
+		return !matchAny(rel, driverPkgs) && !matchAny(rel, harnessPkgs)
 	}
 	return true
 }

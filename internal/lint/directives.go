@@ -104,7 +104,7 @@ func (d directives) malformed() []Finding {
 		out = append(out, mk(pos, "//calint:ignore needs a reason: //calint:ignore <check> <why>"))
 	}
 	for _, pos := range d.unknown {
-		out = append(out, mk(pos, "//calint:ignore names no known check (detrand, wallclock, maporder, errdrop, mutexhold)"))
+		out = append(out, mk(pos, "//calint:ignore names no known check (see calint -list for the suite)"))
 	}
 	return out
 }

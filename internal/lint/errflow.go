@@ -1,0 +1,385 @@
+package lint
+
+// errflow: exhaustiveness for the typed error families the recovery
+// machinery dispatches on (checkpoint.ErrStorageDegraded/ErrStorageLost,
+// wire.ErrAdmission, ErrSessionPoisoned, supervisor.ErrStalled). The
+// supervisor's restart policy, the session's poison contract, and the
+// degraded-storage policy all branch on errors.Is/As against these
+// sentinels — so a call whose error can carry one of them must either
+// test the family or pass the error on intact. Discarding the error,
+// or re-wrapping it with %v/%s (which collapses the chain to a string),
+// silently downgrades a typed recovery signal into a generic failure:
+// the supervisor restarts when it should fail over, or vice versa.
+//
+// Per call site, the caller's handling evidence is scanned flow-
+// insensitively over the whole function: errors.Is/As against the
+// family, == against the sentinel, propagation via return / %w-wrap /
+// errors.Join / channel send / field stash / panic, or passing the error
+// to a function whose summary says it tests the family.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+var errflowAnalyzer = &Analyzer{
+	Name:      "errflow",
+	Doc:       "typed error family (storage/admission/poison/stall) collapsed or discarded",
+	RunGlobal: runErrflow,
+	Contract: "Every call whose error result can carry a typed family — ErrStorageDegraded, " +
+		"ErrStorageLost, ErrAdmission, ErrSessionPoisoned, ErrStalled, tracked interprocedurally " +
+		"through returns, %w-wraps and assignments — must either test the family with " +
+		"errors.Is/As (or pass the error to a function that does) or propagate the error intact " +
+		"(return, %w-wrap, errors.Join, channel send, field stash, panic). Discarding the error " +
+		"or collapsing it with %v/%s is a finding: a typed recovery signal dies at that call.",
+	Example: `internal/supervisor/supervisor.go:142:9: errflow: error from (*Log).AppendMeta can carry checkpoint.ErrStorageDegraded (produced at checkpoint.go:311) but is discarded; test it with errors.Is/As or propagate it`,
+}
+
+func runErrflow(pr *Program) {
+	pr.ensureSummaries()
+	ec := newErrCtx(pr)
+	for _, fi := range pr.infos {
+		checkErrflowFn(pr, ec, fi)
+	}
+}
+
+// bindKind classifies how a call's error result is consumed.
+type bindKind int
+
+const (
+	bindUnknown bindKind = iota // nested in a condition or other expression
+	bindBare                    // bare statement / go / defer: discarded
+	bindBlank                   // assigned to _
+	bindIdent                   // assigned to an identifier: scan evidence
+	bindReturn                  // returned / %w-wrapped / joined: propagated
+	bindArg                     // passed straight into another call
+)
+
+type binding struct {
+	kind      bindKind
+	obj       types.Object    // for bindIdent
+	handled   map[string]bool // for bindArg: families the outer callee tests
+	outer     *types.Func     // for bindArg
+	preserved bool            // for bindArg: the outer callee keeps the error intact
+}
+
+func checkErrflowFn(pr *Program, ec *errCtx, fi *FuncInfo) {
+	p := fi.Pass
+	binds := map[*ast.CallExpr]*binding{}
+	claim := func(c *ast.CallExpr, b *binding) {
+		if _, ok := binds[c]; !ok {
+			binds[c] = b
+		}
+	}
+	asCall := func(e ast.Expr) *ast.CallExpr {
+		c, _ := ast.Unparen(e).(*ast.CallExpr)
+		return c
+	}
+	// Function literals are NOT skipped here: a `go func(){...}` body is
+	// summarized as part of the enclosing function (collectSites marks its
+	// calls inGo, not inLit), so its bindings must be classified too.
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if c := asCall(s.X); c != nil {
+				claim(c, &binding{kind: bindBare})
+			}
+		case *ast.GoStmt:
+			claim(s.Call, &binding{kind: bindBare})
+		case *ast.DeferStmt:
+			claim(s.Call, &binding{kind: bindBare})
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if c := asCall(s.Rhs[0]); c != nil {
+					claim(c, errLhsBinding(p, s.Lhs))
+				}
+				return true
+			}
+			for i, r := range s.Rhs {
+				if c := asCall(r); c != nil && i < len(s.Lhs) {
+					claim(c, errLhsBinding(p, s.Lhs[i:i+1]))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if c := asCall(r); c != nil {
+					claim(c, &binding{kind: bindReturn})
+				}
+			}
+		case *ast.CallExpr:
+			outer := calleeFunc(p.Info, s)
+			for i, a := range s.Args {
+				c := asCall(a)
+				if c == nil {
+					continue
+				}
+				b := &binding{kind: bindArg, outer: outer}
+				if outer != nil {
+					switch funcPkgPath(outer) {
+					case "fmt":
+						if outer.Name() == "Errorf" && fmtWrapsError(s) {
+							b = &binding{kind: bindReturn}
+						}
+					case "errors":
+						b = &binding{kind: bindReturn} // Is/As/Join consume it by design
+					default:
+						if ofi := pr.infoOf(outer); ofi != nil {
+							b.handled = ofi.Sum.Handles
+							b.preserved = ofi.Sum.ErrParams[i]
+						}
+					}
+				}
+				claim(c, b)
+			}
+		}
+		return true
+	})
+
+	for i := range fi.Calls {
+		cs := &fi.Calls[i]
+		if cs.InLit || cs.Iface || len(cs.Callees) != 1 {
+			continue
+		}
+		callee := cs.Callees[0]
+		if len(callee.Sum.TypedErrs) == 0 || !returnsError(callee.Fn) {
+			continue
+		}
+		fams := callee.Sum.TypedErrs
+		b := binds[cs.Call]
+		if b == nil {
+			b = &binding{kind: bindUnknown}
+		}
+		switch b.kind {
+		case bindReturn:
+			continue
+		case bindIdent:
+			handled, propagated := errEvidence(pr, ec, fi, b.obj)
+			if propagated {
+				continue
+			}
+			reportErrflow(pr, ec, fi, cs, callee, missingFams(fams, handled), "is neither tested with errors.Is/As nor propagated")
+		case bindArg:
+			if b.preserved || (b.outer != nil && returnsError(b.outer)) {
+				continue // flows onward through or survives inside the outer call
+			}
+			reportErrflow(pr, ec, fi, cs, callee, missingFams(fams, b.handled), "is consumed by a call that never tests it")
+		case bindBare, bindBlank:
+			reportErrflow(pr, ec, fi, cs, callee, missingFams(fams, nil), "is discarded")
+		case bindUnknown:
+			reportErrflow(pr, ec, fi, cs, callee, missingFams(fams, nil), "is tested only for nil and then dropped")
+		}
+	}
+}
+
+// errLhsBinding classifies the assignment targets of a call producing an
+// error: the error-typed identifier if there is one, blank if the error
+// lands in _, unknown otherwise.
+func errLhsBinding(p *Pass, lhs []ast.Expr) *binding {
+	blank := false
+	for _, l := range lhs {
+		le := ast.Unparen(l)
+		id, ok := le.(*ast.Ident)
+		if !ok {
+			// Assigning the error straight into a field, slice, or map
+			// stashes it for a later inspection pass: propagation.
+			switch le.(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr:
+				if tv, ok := p.Info.Types[l]; ok && isErrorType(tv.Type) {
+					return &binding{kind: bindReturn}
+				}
+			}
+			continue
+		}
+		if id.Name == "_" {
+			blank = true
+			continue
+		}
+		// Lvalue identifiers are recorded in Defs/Uses, not Info.Types —
+		// resolve the object and inspect its declared type.
+		if obj := objOf(p.Info, id); obj != nil && isErrorType(obj.Type()) {
+			return &binding{kind: bindIdent, obj: obj}
+		}
+	}
+	if blank {
+		return &binding{kind: bindBlank}
+	}
+	return &binding{kind: bindUnknown}
+}
+
+// errEvidence scans the whole function for handling evidence about obj:
+// which families are tested, and whether the error propagates intact.
+func errEvidence(pr *Program, ec *errCtx, fi *FuncInfo, obj types.Object) (handled map[string]bool, propagated bool) {
+	p := fi.Pass
+	handled = map[string]bool{}
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && objOf(p.Info, id) == obj
+	}
+	// mentionsWrapped: obj appears inside a propagating wrapper
+	var propagatesVia func(e ast.Expr) bool
+	propagatesVia = func(e ast.Expr) bool {
+		if isObj(e) {
+			return true
+		}
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil {
+			return false
+		}
+		switch funcPkgPath(fn) {
+		case "fmt":
+			if fn.Name() == "Errorf" && fmtWrapsError(call) {
+				for _, a := range call.Args[1:] {
+					if propagatesVia(a) {
+						return true
+					}
+				}
+			}
+			return false
+		case "errors":
+			if fn.Name() == "Join" {
+				for _, a := range call.Args {
+					if propagatesVia(a) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		// a module helper handed the error: assume it forwards or wraps
+		if pr.infoOf(fn) != nil && returnsError(fn) {
+			for _, a := range call.Args {
+				if isObj(a) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(p.Info, x)
+			if fn == nil {
+				// panic(err) preserves the chain for a recover-based handler
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+					if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" && len(x.Args) == 1 && isObj(x.Args[0]) {
+						propagated = true
+					}
+					if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+						for _, a := range x.Args[1:] {
+							if isObj(a) {
+								propagated = true
+							}
+						}
+					}
+				}
+				return true
+			}
+			switch funcPkgPath(fn) {
+			case "errors":
+				switch fn.Name() {
+				case "Is":
+					if len(x.Args) >= 2 && isObj(x.Args[0]) {
+						if o := exprObj(p.Info, x.Args[1]); o != nil {
+							if fam := ec.sentinel[o]; fam != "" {
+								handled[fam] = true
+							}
+						}
+					}
+				case "As":
+					if len(x.Args) >= 2 && isObj(x.Args[0]) {
+						if tv, ok := p.Info.Types[x.Args[1]]; ok {
+							if fam := ec.famOfType(tv.Type); fam != "" {
+								handled[fam] = true
+							}
+						}
+					}
+				}
+			default:
+				// passing the error to a module function that tests the family
+				// or preserves the parameter (stash/forward/return intact)
+				if mfi := pr.infoOf(fn); mfi != nil {
+					for i, a := range x.Args {
+						if !isObj(a) {
+							continue
+						}
+						for fam := range mfi.Sum.Handles {
+							handled[fam] = true
+						}
+						if mfi.Sum.ErrParams[i] || returnsError(fn) {
+							propagated = true // survives inside or flows through the helper
+						}
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.EQL || x.Op == token.NEQ {
+				var other ast.Expr
+				if isObj(x.X) {
+					other = x.Y
+				} else if isObj(x.Y) {
+					other = x.X
+				}
+				if other != nil {
+					if o := exprObj(p.Info, other); o != nil {
+						if fam := ec.sentinel[o]; fam != "" {
+							handled[fam] = true
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if propagatesVia(r) {
+					propagated = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, r := range x.Rhs {
+				if !propagatesVia(r) || i >= len(x.Lhs) {
+					continue
+				}
+				switch ast.Unparen(x.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					propagated = true // stashed for a later inspection pass
+				}
+			}
+		case *ast.SendStmt:
+			if isObj(x.Value) {
+				propagated = true
+			}
+		}
+		return true
+	})
+	return handled, propagated
+}
+
+func missingFams(fams map[string]token.Pos, handled map[string]bool) []string {
+	var out []string
+	for fam := range fams {
+		if !handled[fam] {
+			out = append(out, fam)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func reportErrflow(pr *Program, ec *errCtx, fi *FuncInfo, cs *CallSite, callee *FuncInfo, missing []string, how string) {
+	if len(missing) == 0 {
+		return
+	}
+	witness := callee.Sum.TypedErrs[missing[0]]
+	wp := pr.Fset.Position(witness)
+	pr.Reportf(fi.Pass, cs.Call.Pos(),
+		"error from %s can carry %s (produced at %s:%d) but %s; test it with errors.Is/As or propagate it intact",
+		displayName(callee.Fn), strings.Join(missing, ", "), filepath.Base(wp.Filename), wp.Line, how)
+}

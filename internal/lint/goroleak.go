@@ -1,0 +1,99 @@
+package lint
+
+// goroleak: spawn sites whose goroutine can outlive its owner. A spawned
+// call tree that contains an inescapable loop — `for { ... }` with no
+// return, no break, no goto, no panicking call on any path, or an empty
+// `select {}` — never observes shutdown: no ctx.Done, no closed channel,
+// no WaitGroup edge can reach it, because nothing in the loop exits. In
+// this codebase that is a leaked link-holder: a tcpnet reconnect worker
+// or pool worker that keeps a socket or arena slot pinned after its
+// owner's Close returned. Loops with any exit path (error return,
+// done-channel select, bounded counter) are accepted — the check targets
+// the structurally-unexitable shape, not long-running workers.
+//
+// The witness chain in the diagnostic walks the call path from the spawn
+// site to the offending loop.
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+var goroleakAnalyzer = &Analyzer{
+	Name:      "goroleak",
+	Doc:       "spawned goroutine with no exit path on any branch (leak)",
+	RunGlobal: runGoroleak,
+	Contract: "Every goroutine must have an exit path. A `go` statement whose spawned call " +
+		"tree (static calls, function literals analyzed in place) contains a `for` loop with no " +
+		"condition and no return/break/goto/panic on any path, or an empty `select {}`, is " +
+		"reported: no shutdown signal — ctx.Done, closed channel, WaitGroup — can terminate it, " +
+		"so it outlives its owner and pins whatever it holds. The diagnostic's witness chain " +
+		"walks from the spawn site to the inescapable loop.",
+	Example: `internal/tcpnet/tcpnet.go:301:3: goroleak: goroutine can outlive its owner: (*Conn).pump -> (*Conn).drain loops forever at tcpnet.go:377 with no exit on any path; add a done-channel or error return so shutdown can reach it`,
+}
+
+func runGoroleak(pr *Program) {
+	pr.ensureSummaries()
+	for _, fi := range pr.infos {
+		for _, sp := range fi.Spawns {
+			if sp.Lit != nil {
+				checkSpawnedLit(pr, fi, sp)
+				continue
+			}
+			for _, callee := range sp.Callees {
+				if names, pos := leakChain(callee); pos.IsValid() {
+					reportLeak(pr, fi, sp.Go.Pos(), names, pos)
+					break
+				}
+			}
+		}
+	}
+}
+
+// checkSpawnedLit analyzes a `go func(){...}()` body in place: its own
+// loops first, then any static call reaching a leaking call tree.
+func checkSpawnedLit(pr *Program, fi *FuncInfo, sp SpawnSite) {
+	if pos := inescapableLoop(fi.Pass, sp.Lit.Body); pos.IsValid() {
+		reportLeak(pr, fi, sp.Go.Pos(), []string{"func literal"}, pos)
+		return
+	}
+	for _, cs := range fi.Calls {
+		if !cs.InGo || cs.Iface || len(cs.Callees) != 1 {
+			continue
+		}
+		if cs.Call.Pos() < sp.Lit.Pos() || cs.Call.End() > sp.Lit.End() {
+			continue
+		}
+		if names, pos := leakChain(cs.Callees[0]); pos.IsValid() {
+			reportLeak(pr, fi, sp.Go.Pos(), append([]string{"func literal"}, names...), pos)
+			return
+		}
+	}
+}
+
+// leakChain follows LeakVia links from fi to the function owning the
+// inescapable loop, cycle-guarded.
+func leakChain(fi *FuncInfo) ([]string, token.Pos) {
+	var names []string
+	seen := map[*FuncInfo]bool{}
+	for fi != nil && !seen[fi] {
+		seen[fi] = true
+		names = append(names, displayName(fi.Fn))
+		if fi.Sum.LeakLoop.IsValid() {
+			return names, fi.Sum.LeakLoop
+		}
+		if fi.Sum.LeakVia == nil {
+			break
+		}
+		fi = fi.Sum.LeakVia
+	}
+	return nil, token.NoPos
+}
+
+func reportLeak(pr *Program, fi *FuncInfo, goPos token.Pos, chain []string, loopPos token.Pos) {
+	lp := pr.Fset.Position(loopPos)
+	pr.Reportf(fi.Pass, goPos,
+		"goroutine can outlive its owner: %s loops forever at %s:%d with no exit on any path; add a done-channel or error return so shutdown can reach it",
+		strings.Join(chain, " -> "), filepath.Base(lp.Filename), lp.Line)
+}

@@ -18,6 +18,16 @@
 //	maporder   map iteration order flowing into hashes, wire bytes, or sends
 //	errdrop    discarded errors on checkpoint/transport/WAL durability calls
 //	mutexhold  blocking calls (Exchange, network I/O, sleeps) under a mutex
+//	bufownership  pooled wire.Frame released twice or used after Release
+//
+// On top of the per-package suite sits an interprocedural engine
+// (program.go, summary.go): a module-aware call graph plus per-function
+// summaries computed to fixpoint. Four whole-program checks consume it:
+//
+//	lockorder       lock-acquisition cycles across packages (deadlock)
+//	goroleak        spawned goroutines with no exit path (leak)
+//	errflow         typed error families collapsed or discarded at a call
+//	bufownership-ip frame ownership tracked across call boundaries
 //
 // Findings are suppressed with an in-source directive on the offending
 // line or the line directly above it:
@@ -54,11 +64,19 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Check, f.Message)
 }
 
-// Analyzer is one named invariant check run over a type-checked package.
+// Analyzer is one named invariant check. Per-package analyzers set Run
+// and see one type-checked package at a time; whole-program analyzers set
+// RunGlobal and see the Program (call graph + summaries) once per
+// invocation. Contract and Example feed `calint -explain` and are the
+// same strings DESIGN.md §2.12 embeds, so CLI help and design doc cannot
+// drift apart.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunGlobal func(*Program)
+	Contract  string
+	Example   string
 }
 
 // Pass is the per-package view handed to an Analyzer: the syntax trees,
@@ -71,6 +89,11 @@ type Pass struct {
 	// RelPkg is the module-root-relative package directory ("" for the
 	// module root, "internal/sim", ...).
 	RelPkg string
+
+	// prog is the whole-program view this pass was loaded into; set by
+	// Run (and the test harness) so per-package analyzers can consult
+	// cross-function summaries.
+	prog *Program
 
 	check  string
 	report func(Finding)
@@ -88,9 +111,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the six per-package
+// checks, then the four interprocedural checks.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{detrandAnalyzer, wallclockAnalyzer, maporderAnalyzer, errdropAnalyzer, mutexholdAnalyzer, bufownershipAnalyzer}
+	return []*Analyzer{
+		detrandAnalyzer, wallclockAnalyzer, maporderAnalyzer, errdropAnalyzer, mutexholdAnalyzer, bufownershipAnalyzer,
+		lockorderAnalyzer, goroleakAnalyzer, errflowAnalyzer, bufownershipIPAnalyzer,
+	}
 }
 
 // AnalyzerByName resolves one analyzer, or nil.
@@ -121,19 +148,69 @@ func Run(root string, patterns []string, analyzers []*Analyzer) ([]Finding, erro
 	if err != nil {
 		return nil, err
 	}
-	var findings []Finding
-	for _, rel := range dirs {
-		pass, err := ld.loadRel(rel)
+	var perPkg, global []*Analyzer
+	for _, a := range analyzers {
+		if a.RunGlobal != nil {
+			global = append(global, a)
+		} else {
+			perPkg = append(perPkg, a)
+		}
+	}
+	// Whole-program checks need the whole module loaded even when the
+	// requested patterns cover a subset; findings are still filtered to
+	// the requested packages.
+	loadDirs := dirs
+	if len(global) > 0 {
+		all, err := ld.expand([]string{"./..."})
 		if err != nil {
+			return nil, err
+		}
+		seen := map[string]bool{}
+		for _, rel := range loadDirs {
+			seen[rel] = true
+		}
+		for _, rel := range all {
+			if !seen[rel] {
+				loadDirs = append(loadDirs, rel)
+			}
+		}
+	}
+	for _, rel := range loadDirs {
+		if _, err := ld.loadRel(rel); err != nil {
 			return nil, fmt.Errorf("calint: %s: %w", relOrDot(rel), err)
 		}
-		dirs := collectDirectives(pass.Fset, pass.Files)
-		findings = append(findings, dirs.malformed()...)
-		for _, a := range analyzers {
+	}
+	// Bundle every loaded pass — requested packages plus transitive
+	// imports — into one Program so summaries resolve across packages.
+	passes := make([]*Pass, 0, len(ld.passes))
+	for _, pass := range ld.passes {
+		passes = append(passes, pass)
+	}
+	prog := newProgram(ld.fset, passes)
+	var findings []Finding
+	for _, rel := range dirs {
+		pass := ld.passes[rel]
+		dirIdx := collectDirectives(pass.Fset, pass.Files)
+		findings = append(findings, dirIdx.malformed()...)
+		for _, a := range perPkg {
 			if !appliesTo(a.Name, rel) {
 				continue
 			}
-			findings = append(findings, runOne(pass, a, dirs)...)
+			findings = append(findings, runOne(pass, a, dirIdx)...)
+		}
+	}
+	if len(global) > 0 {
+		var allFiles []*ast.File
+		for _, pass := range prog.Passes {
+			allFiles = append(allFiles, pass.Files...)
+		}
+		combined := collectDirectives(ld.fset, allFiles)
+		requested := map[string]bool{}
+		for _, rel := range dirs {
+			requested[rel] = true
+		}
+		for _, a := range global {
+			findings = append(findings, runGlobal(prog, a, combined, requested)...)
 		}
 	}
 	for i := range findings {
@@ -158,6 +235,23 @@ func relativize(root, file string) string {
 		return filepath.ToSlash(rel)
 	}
 	return file
+}
+
+// runGlobal executes a whole-program analyzer once, keeping only
+// findings positioned in a requested, in-scope package and not
+// suppressed by a directive.
+func runGlobal(prog *Program, a *Analyzer, dirs directives, requested map[string]bool) []Finding {
+	var out []Finding
+	prog.check = a.Name
+	prog.emit = func(p *Pass, f Finding) {
+		if !requested[p.RelPkg] || !appliesTo(a.Name, p.RelPkg) || dirs.suppresses(f) {
+			return
+		}
+		out = append(out, f)
+	}
+	a.RunGlobal(prog)
+	prog.check, prog.emit = "", nil
+	return out
 }
 
 // runOne executes a single analyzer over a loaded pass and filters its

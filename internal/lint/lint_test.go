@@ -72,8 +72,26 @@ func goldenTest(t *testing.T, name string) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", name, err)
 	}
+	pass.RelPkg = "testdata/" + name
 	dirs := collectDirectives(pass.Fset, pass.Files)
-	findings := append(runOne(pass, a, dirs), dirs.malformed()...)
+
+	// Build a Program over the fixture plus whatever module packages it
+	// pulled in, exactly as Run does, so interprocedural analyzers (and
+	// per-package ones that consult summaries) see the same world.
+	passes := make([]*Pass, 0, len(ld.passes)+1)
+	for _, p := range ld.passes {
+		passes = append(passes, p)
+	}
+	passes = append(passes, pass)
+	prog := newProgram(ld.fset, passes)
+
+	var findings []Finding
+	if a.RunGlobal != nil {
+		findings = runGlobal(prog, a, dirs, map[string]bool{pass.RelPkg: true})
+	} else {
+		findings = runOne(pass, a, dirs)
+	}
+	findings = append(findings, dirs.malformed()...)
 	wants := collectWants(t, pass.Fset, pass.Files)
 
 	matched := map[int][]bool{}
@@ -109,6 +127,11 @@ func TestErrdropGolden(t *testing.T)   { goldenTest(t, "errdrop") }
 func TestMutexholdGolden(t *testing.T) { goldenTest(t, "mutexhold") }
 
 func TestBufownershipGolden(t *testing.T) { goldenTest(t, "bufownership") }
+
+func TestLockorderGolden(t *testing.T)      { goldenTest(t, "lockorder") }
+func TestGoroleakGolden(t *testing.T)       { goldenTest(t, "goroleak") }
+func TestErrflowGolden(t *testing.T)        { goldenTest(t, "errflow") }
+func TestBufownershipIPGolden(t *testing.T) { goldenTest(t, "bufownership-ip") }
 
 // TestRepoClean is the in-process version of the CI gate: the repository
 // itself must carry zero findings (every true positive fixed or
@@ -228,6 +251,16 @@ func TestConfigScope(t *testing.T) {
 		{"mutexhold", "internal/tcpnet", true},
 		{"bufownership", "internal/tcpnet", true},
 		{"bufownership", "internal/lint", false},
+		{"lockorder", "internal/mux", true},
+		{"lockorder", "internal/lint", false},
+		{"goroleak", "internal/supervisor", true},
+		{"goroleak", "internal/transporttest", false},
+		{"bufownership-ip", "internal/wire", true},
+		{"bufownership-ip", "internal/testutil", false},
+		{"errflow", "internal/checkpoint", true},
+		{"errflow", "cmd/catcp", false},
+		{"errflow", "examples/drones", false},
+		{"errflow", "internal/lint", false},
 	}
 	for _, c := range cases {
 		if got := appliesTo(c.check, c.rel); got != c.want {

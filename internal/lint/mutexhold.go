@@ -76,9 +76,17 @@ func walkMutexStmt(p *Pass, stmt ast.Stmt, held muState) {
 			}
 		}
 		checkBlocking(p, s.X, held)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			applyRecvLockNets(p, call, held)
+		}
 	case *ast.AssignStmt:
 		for _, e := range s.Rhs {
 			checkBlocking(p, e, held)
+		}
+		if len(s.Rhs) == 1 {
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+				applyRecvLockNets(p, call, held)
+			}
 		}
 	case *ast.ReturnStmt:
 		for _, e := range s.Results {
@@ -183,6 +191,50 @@ func checkBlocking(p *Pass, expr ast.Expr, held muState) {
 			desc, keys[0], p.Fset.Position(held[keys[0]]).Line)
 		return true
 	})
+}
+
+// applyRecvLockNets maps a same-receiver lock helper's summarized net
+// effect — `m.locked()` whose body does m.mu.Lock() — onto the caller's
+// held set, keyed relative to the callsite receiver. This closes the
+// historical blind spot where a blocking call after a lock helper went
+// unflagged and an unlock helper left the mutex "held" forever. Only
+// active when a whole-program view is attached to the pass (the CLI
+// always builds one); the summary fixpoint is computed lazily and
+// cached across analyzers.
+func applyRecvLockNets(p *Pass, call *ast.CallExpr, held muState) {
+	if p.prog == nil {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	p.prog.ensureSummaries()
+	callees, iface := p.prog.resolveCall(p, call)
+	if iface || len(callees) != 1 {
+		return
+	}
+	sum := callees[0].Sum
+	if len(sum.RecvLocks) == 0 {
+		return
+	}
+	base := exprKey(sel.X)
+	rels := make([]string, 0, len(sum.RecvLocks))
+	for rel := range sum.RecvLocks {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		key := base
+		if rel != "." {
+			key = base + "." + rel
+		}
+		if n := sum.RecvLocks[rel]; n > 0 {
+			held[key] = call.Pos()
+		} else if n < 0 {
+			delete(held, key)
+		}
+	}
 }
 
 // lockOp classifies a call as a mutex acquire/release and returns the

@@ -1,0 +1,1304 @@
+// Function-summary IR for the interprocedural analyzers.
+//
+// Each declared function gets a Summary: the lock classes it acquires
+// (transitively, with witness positions), its net lock effect at return
+// (absolute classes and receiver-relative field paths, so callers can map
+// `c.lockHelper()` onto their own held set), whether its call tree
+// contains an inescapable loop (goroleak's witness), the typed error
+// families its error results can carry, the families it tests with
+// errors.Is/As, and the release/retain effect it has on each *wire.Frame
+// parameter. Summaries are computed bottom-up by a bounded monotone
+// fixpoint over the call graph: every fact domain is finite (lock nets
+// are clamped), so the iteration terminates even on mutual recursion.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// maxSummaryRounds bounds the fixpoint; every domain is finite so this is
+// a backstop, not a correctness requirement.
+const maxSummaryRounds = 32
+
+// lockNetClamp bounds net lock counts so recursive lock helpers cannot
+// diverge the fixpoint.
+const lockNetClamp = 4
+
+// ReleaseMode classifies what a callee does to a frame parameter.
+type ReleaseMode int
+
+const (
+	ReleaseNever  ReleaseMode = iota // callee never releases the frame
+	ReleaseMaybe                     // releases on some paths
+	ReleaseAlways                    // releases unconditionally
+)
+
+func (m ReleaseMode) String() string {
+	switch m {
+	case ReleaseMaybe:
+		return "maybe"
+	case ReleaseAlways:
+		return "always"
+	}
+	return "never"
+}
+
+// FrameEffect is a callee's effect on one *wire.Frame parameter.
+type FrameEffect struct {
+	Release ReleaseMode
+	Retains bool // stored in a field/container/channel: ownership transfer
+}
+
+// acq is one transitively-acquired lock class: the witness position and
+// whether any hop of the acquisition path was interface-dispatched (CHA
+// edges are possible, not proven, so self-deadlock reports require a
+// static path).
+type acq struct {
+	pos      token.Pos
+	viaIface bool
+}
+
+// Summary is the per-function fact sheet.
+type Summary struct {
+	NetLocks  map[string]int // lock class -> net effect at return (clamped)
+	RecvLocks map[string]int // receiver-relative lock field path -> net effect
+	Acquires  map[string]acq // lock class -> acquisition witness in the call tree
+
+	LeakLoop token.Pos // inescapable loop in this function's own body
+	LeakVia  *FuncInfo // callee whose call tree contains one
+	LeakCall token.Pos // position of the call reaching LeakVia
+
+	TypedErrs map[string]token.Pos // error family -> production/propagation witness
+	Handles   map[string]bool      // families tested with errors.Is/As/== in this body
+	ErrParams map[int]bool         // error parameter index -> preserved (stored/returned/forwarded intact)
+
+	FrameParams map[int]FrameEffect // parameter index -> frame effect
+
+	lockSites []lockSite
+	topNodes  map[ast.Node]bool // exprs of top-level statements (unconditional)
+}
+
+func newSummary() *Summary {
+	return &Summary{
+		NetLocks:    map[string]int{},
+		RecvLocks:   map[string]int{},
+		Acquires:    map[string]acq{},
+		TypedErrs:   map[string]token.Pos{},
+		Handles:     map[string]bool{},
+		ErrParams:   map[int]bool{},
+		FrameParams: map[int]FrameEffect{},
+	}
+}
+
+// lockSite is one sync.Mutex/RWMutex Lock/Unlock call in a body.
+type lockSite struct {
+	x        ast.Expr // the locked expression ("c.mu")
+	op       string   // "lock" | "unlock"
+	pos      token.Pos
+	topLevel bool // statement directly in the body list (unconditional)
+	deferred bool
+	inLit    bool
+	inGo     bool
+}
+
+// ensureSummaries computes every function summary to fixpoint.
+func (pr *Program) ensureSummaries() {
+	if pr.summarized {
+		return
+	}
+	pr.ensure()
+	pr.summarized = true
+	ec := newErrCtx(pr)
+	for _, fi := range pr.infos {
+		fi.Sum.topNodes = topLevelNodes(fi.Decl.Body)
+		fi.Sum.lockSites = collectLockSites(fi)
+		fi.Sum.LeakLoop = inescapableLoop(fi.Pass, fi.Decl.Body)
+		scanHandles(ec, fi)
+	}
+	for round := 0; round < maxSummaryRounds; round++ {
+		changed := false
+		for _, fi := range pr.infos {
+			if lockFactsStep(fi) {
+				changed = true
+			}
+			if leakFactsStep(fi) {
+				changed = true
+			}
+			if errFactsStep(ec, fi) {
+				changed = true
+			}
+			if errParamStep(pr, fi) {
+				changed = true
+			}
+			if frameFactsStep(fi) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// topLevelNodes marks the expressions of statements sitting directly in
+// the body list: effects there are unconditional on every path that does
+// not return earlier.
+func topLevelNodes(body *ast.BlockStmt) map[ast.Node]bool {
+	top := map[ast.Node]bool{}
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			top[ast.Unparen(s.X)] = true
+		case *ast.DeferStmt:
+			top[s.Call] = true
+		case *ast.AssignStmt:
+			for _, r := range s.Rhs {
+				top[ast.Unparen(r)] = true
+			}
+		}
+	}
+	return top
+}
+
+// collectLockSites finds every mutex operation in the body, tagged with
+// its execution context.
+func collectLockSites(fi *FuncInfo) []lockSite {
+	p := fi.Pass
+	var sites []lockSite
+	type item struct {
+		n                    ast.Node
+		inLit, inGo, inDefer bool
+	}
+	queue := []item{{fi.Decl.Body, false, false, false}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		ast.Inspect(it.n, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				queue = append(queue, item{x.Body, true, it.inGo, false})
+				return false
+			case *ast.GoStmt:
+				if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+					queue = append(queue, item{lit.Body, false, true, false})
+				}
+				for _, a := range x.Call.Args {
+					queue = append(queue, item{a, it.inLit, it.inGo, it.inDefer})
+				}
+				return false
+			case *ast.DeferStmt:
+				queue = append(queue, item{x.Call, it.inLit, it.inGo, true})
+				return false
+			case *ast.CallExpr:
+				if lx, op := lockOpExpr(p, x); op != "" {
+					sites = append(sites, lockSite{
+						x: lx, op: op, pos: x.Pos(),
+						topLevel: fi.Sum.topNodes[x],
+						deferred: it.inDefer, inLit: it.inLit, inGo: it.inGo,
+					})
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	return sites
+}
+
+// lockOpExpr classifies a call as a mutex acquire/release and returns the
+// locked expression.
+func lockOpExpr(p *Pass, call *ast.CallExpr) (ast.Expr, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return nil, ""
+	}
+	rp, rt := recvTypeName(fn)
+	if rp != "sync" || (rt != "Mutex" && rt != "RWMutex" && rt != "Locker") {
+		return nil, ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return sel.X, "lock"
+	case "Unlock", "RUnlock":
+		return sel.X, "unlock"
+	}
+	return nil, ""
+}
+
+// lockClassOf names the lock class of a locked expression and, when the
+// expression is rooted at the function's receiver, its receiver-relative
+// field path. Classes are "<pkg>.<Type>.<field>" for struct fields,
+// "<pkg>.<var>" for package-level mutexes, "<pkg>.<Type>.Mutex" for
+// embedded mutexes. Locals and parameters are untracked ("").
+func lockClassOf(p *Pass, recvObj types.Object, x ast.Expr) (class, recvRel string) {
+	x = ast.Unparen(x)
+	if ix, ok := x.(*ast.IndexExpr); ok {
+		x = ast.Unparen(ix.X)
+	}
+	switch e := x.(type) {
+	case *ast.SelectorExpr:
+		if sel := p.Info.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+			t := sel.Recv()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+				class = n.Obj().Pkg().Name() + "." + n.Obj().Name() + "." + e.Sel.Name
+			}
+		}
+		if recvObj != nil {
+			if id := rootIdent(e.X); id != nil && objOf(p.Info, id) == recvObj {
+				full := exprKey(e)
+				if i := strings.IndexByte(full, '.'); i >= 0 {
+					recvRel = full[i+1:]
+				}
+			}
+		}
+	case *ast.Ident:
+		obj := objOf(p.Info, e)
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return "", ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name(), ""
+		}
+		// a named struct value with an embedded mutex
+		t := v.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() != "sync" {
+			class = n.Obj().Pkg().Name() + "." + n.Obj().Name() + ".Mutex"
+		}
+		if obj == recvObj {
+			recvRel = "."
+		}
+	}
+	return class, recvRel
+}
+
+// ---- lock facts ----
+
+func lockFactsStep(fi *FuncInfo) bool {
+	p, sum := fi.Pass, fi.Sum
+	changed := false
+
+	// Transitive acquisitions (synchronous flow only).
+	addAcq := func(class string, pos token.Pos, iface bool) {
+		old, ok := sum.Acquires[class]
+		switch {
+		case !ok:
+			sum.Acquires[class] = acq{pos, iface}
+			changed = true
+		case old.viaIface && !iface:
+			sum.Acquires[class] = acq{pos, false}
+			changed = true
+		}
+	}
+	for _, ls := range sum.lockSites {
+		if ls.inLit || ls.inGo || ls.op != "lock" {
+			continue
+		}
+		if class, _ := lockClassOf(p, fi.recvObj, ls.x); class != "" {
+			addAcq(class, ls.pos, false)
+		}
+	}
+	for _, cs := range fi.Calls {
+		if cs.InLit || cs.InGo {
+			continue
+		}
+		for _, callee := range cs.Callees {
+			for class, a := range callee.Sum.Acquires {
+				addAcq(class, cs.Call.Pos(), a.viaIface || cs.Iface)
+			}
+		}
+	}
+
+	// Net effect at return: top-level lock statements plus top-level
+	// static calls to module functions with their own net effect.
+	newNet := map[string]int{}
+	newRecv := map[string]int{}
+	for _, ls := range sum.lockSites {
+		if ls.inLit || ls.inGo || !ls.topLevel {
+			continue
+		}
+		d := 1
+		if ls.op == "unlock" {
+			d = -1
+		}
+		class, rel := lockClassOf(p, fi.recvObj, ls.x)
+		if class != "" {
+			newNet[class] += d
+		}
+		if rel != "" {
+			newRecv[rel] += d
+		}
+	}
+	for _, cs := range fi.Calls {
+		if cs.InLit || cs.InGo || cs.Iface || len(cs.Callees) != 1 || !sum.topNodes[cs.Call] {
+			continue
+		}
+		callee := cs.Callees[0]
+		for class, n := range callee.Sum.NetLocks {
+			newNet[class] += n
+		}
+		if fi.recvObj != nil && callee.recvObj != nil {
+			if sel, ok := ast.Unparen(cs.Call.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && objOf(p.Info, id) == fi.recvObj {
+					for rel, n := range callee.Sum.RecvLocks {
+						newRecv[rel] += n
+					}
+				}
+			}
+		}
+	}
+	clampNets(newNet)
+	clampNets(newRecv)
+	if !netEqual(sum.NetLocks, newNet) {
+		sum.NetLocks = newNet
+		changed = true
+	}
+	if !netEqual(sum.RecvLocks, newRecv) {
+		sum.RecvLocks = newRecv
+		changed = true
+	}
+	return changed
+}
+
+func clampNets(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		} else if v > lockNetClamp {
+			m[k] = lockNetClamp
+		} else if v < -lockNetClamp {
+			m[k] = -lockNetClamp
+		}
+	}
+}
+
+func netEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- goroutine-leak facts ----
+
+func leakFactsStep(fi *FuncInfo) bool {
+	if fi.Sum.LeakLoop.IsValid() || fi.Sum.LeakVia != nil {
+		return false
+	}
+	for _, cs := range fi.Calls {
+		if cs.InLit || cs.InGo || cs.Iface {
+			continue
+		}
+		for _, callee := range cs.Callees {
+			if callee == fi {
+				continue
+			}
+			if callee.Sum.LeakLoop.IsValid() || callee.Sum.LeakVia != nil {
+				fi.Sum.LeakVia = callee
+				fi.Sum.LeakCall = cs.Call.Pos()
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inescapableLoop returns the position of the first `for { }` (no
+// condition) with no exit on any path, or an empty `select {}`, in the
+// function's own synchronous body.
+func inescapableLoop(p *Pass, body *ast.BlockStmt) token.Pos {
+	var found token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			if len(x.Body.List) == 0 {
+				found = x.Pos()
+				return false
+			}
+		case *ast.ForStmt:
+			if x.Cond == nil && !stmtsExit(p, x.Body.List, false) {
+				found = x.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stmtsExit reports whether executing the list can leave the enclosing
+// loop: return, break (binding to it), goto, or a never-returning call.
+// breakable is true once an intervening construct captures unlabeled
+// breaks.
+func stmtsExit(p *Pass, list []ast.Stmt, breakable bool) bool {
+	for _, s := range list {
+		if stmtExits(p, s, breakable) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtExits(p *Pass, s ast.Stmt, breakable bool) bool {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		switch x.Tok {
+		case token.GOTO:
+			return true // conservatively assume it leaves the loop
+		case token.BREAK:
+			return x.Label != nil || !breakable
+		}
+		return false
+	case *ast.ExprStmt:
+		return exprPanics(p, x.X)
+	case *ast.SendStmt:
+		return exprPanics(p, x.Value)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			if exprPanics(p, e) {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if x.Init != nil && stmtExits(p, x.Init, breakable) {
+			return true
+		}
+		if exprPanics(p, x.Cond) || stmtsExit(p, x.Body.List, breakable) {
+			return true
+		}
+		return x.Else != nil && stmtExits(p, x.Else, breakable)
+	case *ast.ForStmt:
+		return stmtsExit(p, x.Body.List, true)
+	case *ast.RangeStmt:
+		return stmtsExit(p, x.Body.List, true)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var clauses []ast.Stmt
+		if sw, ok := x.(*ast.SwitchStmt); ok {
+			clauses = sw.Body.List
+		} else {
+			clauses = x.(*ast.TypeSwitchStmt).Body.List
+		}
+		for _, c := range clauses {
+			if cc, ok := c.(*ast.CaseClause); ok && stmtsExit(p, cc.Body, true) {
+				return true
+			}
+		}
+		return false
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && stmtsExit(p, cc.Body, true) {
+				return true
+			}
+		}
+		return false
+	case *ast.BlockStmt:
+		return stmtsExit(p, x.List, breakable)
+	case *ast.LabeledStmt:
+		return stmtExits(p, x.Stmt, breakable)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						if exprPanics(p, e) {
+							return true
+						}
+					}
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// exprPanics reports whether expr contains a call that never returns:
+// panic, os.Exit, runtime.Goexit, log.Fatal*/Panic*, testing Fatal*.
+func exprPanics(p *Pass, expr ast.Expr) bool {
+	if expr == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				found = true
+				return false
+			}
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil {
+			return true
+		}
+		switch funcPkgPath(fn) {
+		case "os":
+			found = found || fn.Name() == "Exit"
+		case "runtime":
+			found = found || fn.Name() == "Goexit"
+		case "log", "testing":
+			found = found || strings.HasPrefix(fn.Name(), "Fatal") || strings.HasPrefix(fn.Name(), "Panic")
+		}
+		return !found
+	})
+	return found
+}
+
+// ---- typed-error facts ----
+
+// errFamily is one typed error family the errflow check tracks.
+type errFamily struct {
+	name     string // display name ("checkpoint.ErrStorageDegraded")
+	pkgPath  string
+	sentinel string // package-level sentinel var
+	typeName string // optional concrete error type in the same package
+}
+
+var errFamilies = []errFamily{
+	{"checkpoint.ErrStorageDegraded", modulePath + "/internal/checkpoint", "ErrStorageDegraded", ""},
+	{"checkpoint.ErrStorageLost", modulePath + "/internal/checkpoint", "ErrStorageLost", ""},
+	{"wire.ErrAdmission", modulePath + "/internal/wire", "ErrAdmission", "AdmissionError"},
+	{"convexagreement.ErrSessionPoisoned", modulePath, "ErrSessionPoisoned", ""},
+	{"supervisor.ErrStalled", modulePath + "/internal/supervisor", "ErrStalled", ""},
+}
+
+// errCtx resolves the family sentinels and types against the loaded
+// packages once per program.
+type errCtx struct {
+	prog     *Program
+	sentinel map[types.Object]string
+	typeObj  map[types.Object]string
+}
+
+func newErrCtx(pr *Program) *errCtx {
+	ec := &errCtx{prog: pr, sentinel: map[types.Object]string{}, typeObj: map[types.Object]string{}}
+	for _, p := range pr.Passes {
+		for _, fam := range errFamilies {
+			if p.Pkg.Path() != fam.pkgPath {
+				continue
+			}
+			if o := p.Pkg.Scope().Lookup(fam.sentinel); o != nil {
+				ec.sentinel[o] = fam.name
+			}
+			if fam.typeName != "" {
+				if o := p.Pkg.Scope().Lookup(fam.typeName); o != nil {
+					ec.typeObj[o] = fam.name
+				}
+			}
+		}
+	}
+	return ec
+}
+
+// famOfType maps a type to its family when it is (a pointer to) a family
+// error type.
+func (ec *errCtx) famOfType(t types.Type) string {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return ec.typeObj[n.Obj()]
+	}
+	return ""
+}
+
+// famsOf computes which families the value of expr can carry, given the
+// current taint of local variables.
+func (ec *errCtx) famsOf(fi *FuncInfo, tainted map[types.Object]map[string]bool, expr ast.Expr) map[string]bool {
+	p := fi.Pass
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := objOf(p.Info, e); obj != nil {
+			if fam := ec.sentinel[obj]; fam != "" {
+				return map[string]bool{fam: true}
+			}
+			return tainted[obj]
+		}
+	case *ast.SelectorExpr:
+		if obj := objOf(p.Info, e.Sel); obj != nil {
+			if fam := ec.sentinel[obj]; fam != "" {
+				return map[string]bool{fam: true}
+			}
+			return tainted[obj]
+		}
+	case *ast.UnaryExpr:
+		return ec.famsOf(fi, tainted, e.X)
+	case *ast.CompositeLit:
+		if tv, ok := p.Info.Types[e]; ok {
+			if fam := ec.famOfType(tv.Type); fam != "" {
+				return map[string]bool{fam: true}
+			}
+		}
+	case *ast.CallExpr:
+		fn := calleeFunc(p.Info, e)
+		if fn == nil {
+			return nil
+		}
+		switch funcPkgPath(fn) {
+		case "fmt":
+			if fn.Name() == "Errorf" && fmtWrapsError(e) {
+				return ec.famsOfArgs(fi, tainted, e.Args)
+			}
+			return nil
+		case "errors":
+			if fn.Name() == "Join" {
+				return ec.famsOfArgs(fi, tainted, e.Args)
+			}
+			return nil
+		}
+		if callee := ec.prog.infoOf(fn); callee != nil {
+			out := map[string]bool{}
+			for fam := range callee.Sum.TypedErrs {
+				out[fam] = true
+			}
+			if len(out) > 0 {
+				return out
+			}
+			return nil
+		}
+		// a stdlib-or-unresolved call returning a family-typed value
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			for i := 0; i < sig.Results().Len(); i++ {
+				if fam := ec.famOfType(sig.Results().At(i).Type()); fam != "" {
+					return map[string]bool{fam: true}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (ec *errCtx) famsOfArgs(fi *FuncInfo, tainted map[types.Object]map[string]bool, args []ast.Expr) map[string]bool {
+	var out map[string]bool
+	for _, a := range args {
+		for fam := range ec.famsOf(fi, tainted, a) {
+			if out == nil {
+				out = map[string]bool{}
+			}
+			out[fam] = true
+		}
+	}
+	return out
+}
+
+// fmtWrapsError reports whether a fmt.Errorf call's format literal
+// contains %w (wrapping preserves the family; %v/%s collapse it).
+func fmtWrapsError(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	return ok && strings.Contains(lit.Value, "%w")
+}
+
+// errFactsStep recomputes which families fi's error results can carry.
+func errFactsStep(ec *errCtx, fi *FuncInfo) bool {
+	if !returnsError(fi.Fn) {
+		return false
+	}
+	p := fi.Pass
+	tainted := errTaint(ec, fi)
+	changed := false
+	add := func(fam string, pos token.Pos) {
+		if _, ok := fi.Sum.TypedErrs[fam]; !ok {
+			fi.Sum.TypedErrs[fam] = pos
+			changed = true
+		}
+	}
+	var namedResults []types.Object
+	if res := fi.Decl.Type.Results; res != nil {
+		for _, field := range res.List {
+			for _, name := range field.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					namedResults = append(namedResults, obj)
+				}
+			}
+		}
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(x.Results) == 0 {
+				for _, obj := range namedResults {
+					for fam := range tainted[obj] {
+						add(fam, x.Pos())
+					}
+				}
+				return true
+			}
+			for _, r := range x.Results {
+				for fam := range ec.famsOf(fi, tainted, r) {
+					add(fam, r.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// errTaint runs the small flow-insensitive taint loop over fi's
+// assignments: an identifier assigned an expression carrying a family
+// carries that family.
+func errTaint(ec *errCtx, fi *FuncInfo) map[types.Object]map[string]bool {
+	p := fi.Pass
+	tainted := map[types.Object]map[string]bool{}
+	taint := func(obj types.Object, fams map[string]bool) bool {
+		if obj == nil || len(fams) == 0 {
+			return false
+		}
+		cur := tainted[obj]
+		if cur == nil {
+			cur = map[string]bool{}
+			tainted[obj] = cur
+		}
+		grew := false
+		for fam := range fams {
+			if !cur[fam] {
+				cur[fam] = true
+				grew = true
+			}
+		}
+		return grew
+	}
+	lhsObj := func(e ast.Expr) types.Object {
+		switch l := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return objOf(p.Info, l)
+		case *ast.SelectorExpr:
+			return objOf(p.Info, l.Sel)
+		}
+		return nil
+	}
+	for sub := 0; sub < 4; sub++ {
+		grew := false
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+				fams := ec.famsOf(fi, tainted, as.Rhs[0])
+				for _, l := range as.Lhs {
+					if tv, ok := p.Info.Types[l]; ok && isErrorType(tv.Type) {
+						if taint(lhsObj(l), fams) {
+							grew = true
+						}
+					}
+				}
+				return true
+			}
+			for i := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				if taint(lhsObj(as.Lhs[i]), ec.famsOf(fi, tainted, as.Rhs[i])) {
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			break
+		}
+	}
+	return tainted
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// scanHandles records which families fi tests with errors.Is/As or a
+// direct sentinel comparison (function literals included: helpers often
+// classify inside closures).
+func scanHandles(ec *errCtx, fi *FuncInfo) {
+	p := fi.Pass
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(p.Info, x)
+			if fn == nil || funcPkgPath(fn) != "errors" || len(x.Args) < 2 {
+				return true
+			}
+			switch fn.Name() {
+			case "Is":
+				if obj := exprObj(p.Info, x.Args[1]); obj != nil {
+					if fam := ec.sentinel[obj]; fam != "" {
+						fi.Sum.Handles[fam] = true
+					}
+				}
+			case "As":
+				if tv, ok := p.Info.Types[x.Args[1]]; ok {
+					if fam := ec.famOfType(tv.Type); fam != "" {
+						fi.Sum.Handles[fam] = true
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.EQL || x.Op == token.NEQ {
+				for _, side := range []ast.Expr{x.X, x.Y} {
+					if obj := exprObj(p.Info, side); obj != nil {
+						if fam := ec.sentinel[obj]; fam != "" {
+							fi.Sum.Handles[fam] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// errParamObjs maps fi's error-typed parameters to their indices.
+func errParamObjs(fi *FuncInfo) map[types.Object]int {
+	params := fi.Decl.Type.Params
+	if params == nil {
+		return nil
+	}
+	var out map[types.Object]int
+	idx := 0
+	for _, field := range params.List {
+		for _, name := range field.Names {
+			if obj := fi.Pass.Info.Defs[name]; obj != nil && isErrorType(obj.Type()) {
+				if out == nil {
+					out = map[types.Object]int{}
+				}
+				out[obj] = idx
+			}
+			idx++
+		}
+		if len(field.Names) == 0 {
+			idx++
+		}
+	}
+	return out
+}
+
+// errParamStep marks error parameters the function preserves: returned
+// (directly or under %w/errors.Join), stashed in a field, container, or
+// channel, panicked, or forwarded to a callee that itself preserves the
+// corresponding parameter (transitive, to fixpoint). A preserved error
+// is still reachable by a later errors.Is/As, so handing a typed error
+// to such a function is propagation, not a sink.
+func errParamStep(pr *Program, fi *FuncInfo) bool {
+	params := errParamObjs(fi)
+	if len(params) == 0 {
+		return false
+	}
+	p, sum := fi.Pass, fi.Sum
+	changed := false
+	preserve := func(obj types.Object) {
+		if idx, ok := params[obj]; ok && !sum.ErrParams[idx] {
+			sum.ErrParams[idx] = true
+			changed = true
+		}
+	}
+	// carrier resolves expr to a tracked parameter it carries intact:
+	// the parameter itself, or the parameter under a %w-wrap or Join.
+	var carrier func(e ast.Expr) types.Object
+	carrier = func(e ast.Expr) types.Object {
+		if obj := exprObj(p.Info, e); obj != nil {
+			if _, ok := params[obj]; ok {
+				return obj
+			}
+		}
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil {
+			return nil
+		}
+		switch funcPkgPath(fn) {
+		case "fmt":
+			if fn.Name() == "Errorf" && fmtWrapsError(call) {
+				for _, a := range call.Args[1:] {
+					if o := carrier(a); o != nil {
+						return o
+					}
+				}
+			}
+		case "errors":
+			if fn.Name() == "Join" {
+				for _, a := range call.Args {
+					if o := carrier(a); o != nil {
+						return o
+					}
+				}
+			}
+		}
+		return nil
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if o := carrier(r); o != nil {
+					preserve(o)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, r := range x.Rhs {
+				o := carrier(r)
+				if o == nil || i >= len(x.Lhs) {
+					continue
+				}
+				switch ast.Unparen(x.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					preserve(o)
+				}
+			}
+		case *ast.SendStmt:
+			if o := carrier(x.Value); o != nil {
+				preserve(o)
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if o := carrier(el); o != nil {
+					preserve(o)
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(p.Info, x)
+			if fn == nil {
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+					if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+						switch b.Name() {
+						case "panic":
+							for _, a := range x.Args {
+								if o := carrier(a); o != nil {
+									preserve(o)
+								}
+							}
+						case "append":
+							for _, a := range x.Args[1:] {
+								if o := carrier(a); o != nil {
+									preserve(o)
+								}
+							}
+						}
+					}
+				}
+				return true
+			}
+			if mfi := pr.infoOf(fn); mfi != nil {
+				for i, a := range x.Args {
+					o := carrier(a)
+					if o == nil {
+						continue
+					}
+					if mfi.Sum.ErrParams[i] {
+						preserve(o)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// exprObj resolves an ident or selector expression to its object.
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return objOf(info, x)
+	case *ast.SelectorExpr:
+		return objOf(info, x.Sel)
+	}
+	return nil
+}
+
+// ---- frame facts ----
+
+// frameParamObjs maps fi's *wire.Frame parameters to their indices.
+func frameParamObjs(fi *FuncInfo) map[types.Object]int {
+	params := fi.Decl.Type.Params
+	if params == nil {
+		return nil
+	}
+	var out map[types.Object]int
+	idx := 0
+	for _, field := range params.List {
+		for _, name := range field.Names {
+			if isFramePtr(fi.Pass, field.Type) {
+				if obj := fi.Pass.Info.Defs[name]; obj != nil {
+					if out == nil {
+						out = map[types.Object]int{}
+					}
+					out[obj] = idx
+				}
+			}
+			idx++
+		}
+		if len(field.Names) == 0 {
+			idx++
+		}
+	}
+	return out
+}
+
+// isFramePtr reports whether the type expression denotes *wire.Frame.
+func isFramePtr(p *Pass, te ast.Expr) bool {
+	tv, ok := p.Info.Types[te]
+	if !ok {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := ptr.Elem().(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == modulePath+"/internal/wire" && n.Obj().Name() == "Frame"
+}
+
+func frameFactsStep(fi *FuncInfo) bool {
+	params := frameParamObjs(fi)
+	if len(params) == 0 {
+		return false
+	}
+	p, sum := fi.Pass, fi.Sum
+	changed := false
+	merge := func(idx int, eff FrameEffect) {
+		cur := sum.FrameParams[idx]
+		next := cur
+		if eff.Release > next.Release {
+			next.Release = eff.Release
+		}
+		next.Retains = next.Retains || eff.Retains
+		if next != cur {
+			sum.FrameParams[idx] = next
+			changed = true
+		}
+	}
+	paramIdx := func(e ast.Expr) (int, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return 0, false
+		}
+		obj := objOf(p.Info, id)
+		idx, ok := params[obj]
+		return idx, ok
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			// direct Release of a parameter
+			if _, _, ok := frameReleaseOp(p, x); ok {
+				sel := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+				if idx, ok := paramIdx(sel.X); ok {
+					mode := ReleaseMaybe
+					if sum.topNodes[x] {
+						mode = ReleaseAlways
+					}
+					merge(idx, FrameEffect{Release: mode})
+				}
+				return true
+			}
+			// builtin append retains
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					for _, a := range x.Args[1:] {
+						if idx, ok := paramIdx(a); ok {
+							merge(idx, FrameEffect{Retains: true})
+						}
+					}
+					return true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, r := range x.Rhs {
+				idx, ok := paramIdx(r)
+				if !ok || i >= len(x.Lhs) {
+					continue
+				}
+				switch ast.Unparen(x.Lhs[i]).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					merge(idx, FrameEffect{Retains: true})
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range x.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if idx, ok := paramIdx(elt); ok {
+					merge(idx, FrameEffect{Retains: true})
+				}
+			}
+		case *ast.SendStmt:
+			if idx, ok := paramIdx(x.Value); ok {
+				merge(idx, FrameEffect{Retains: true})
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if idx, ok := paramIdx(r); ok {
+					merge(idx, FrameEffect{Retains: true})
+				}
+			}
+		}
+		return true
+	})
+	// call-transitive effects
+	for _, cs := range fi.Calls {
+		if cs.InLit || cs.InGo || cs.Iface || len(cs.Callees) != 1 {
+			continue
+		}
+		callee := cs.Callees[0]
+		for argIdx, arg := range cs.Call.Args {
+			idx, ok := paramIdx(arg)
+			if !ok {
+				continue
+			}
+			eff, ok := callee.Sum.FrameParams[argIdx]
+			if !ok {
+				continue
+			}
+			mode := ReleaseNever
+			if eff.Release == ReleaseAlways && sum.topNodes[cs.Call] {
+				mode = ReleaseAlways
+			} else if eff.Release != ReleaseNever {
+				mode = ReleaseMaybe
+			}
+			merge(idx, FrameEffect{Release: mode, Retains: eff.Retains})
+		}
+	}
+	return changed
+}
+
+// ---- deterministic serialization (summary-cache determinism test) ----
+
+// SummaryJSON renders every function summary in a deterministic JSON
+// form: map keys sorted, positions as "file.go:line".
+func (pr *Program) SummaryJSON() ([]byte, error) {
+	pr.ensureSummaries()
+	posStr := func(pos token.Pos) string {
+		if !pos.IsValid() {
+			return ""
+		}
+		p := pr.Fset.Position(pos)
+		return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+	}
+	out := map[string]any{}
+	for _, fi := range pr.infos {
+		s := fi.Sum
+		entry := map[string]any{}
+		if len(s.NetLocks) > 0 {
+			entry["netLocks"] = s.NetLocks
+		}
+		if len(s.RecvLocks) > 0 {
+			entry["recvLocks"] = s.RecvLocks
+		}
+		if len(s.Acquires) > 0 {
+			m := map[string]string{}
+			for class, a := range s.Acquires {
+				tag := ""
+				if a.viaIface {
+					tag = " (via interface)"
+				}
+				m[class] = posStr(a.pos) + tag
+			}
+			entry["acquires"] = m
+		}
+		if s.LeakLoop.IsValid() {
+			entry["leakLoop"] = posStr(s.LeakLoop)
+		}
+		if s.LeakVia != nil {
+			entry["leakVia"] = displayName(s.LeakVia.Fn)
+		}
+		if len(s.TypedErrs) > 0 {
+			m := map[string]string{}
+			for fam, pos := range s.TypedErrs {
+				m[fam] = posStr(pos)
+			}
+			entry["typedErrs"] = m
+		}
+		if len(s.Handles) > 0 {
+			var fams []string
+			for fam := range s.Handles {
+				fams = append(fams, fam)
+			}
+			sort.Strings(fams)
+			entry["handles"] = fams
+		}
+		if len(s.ErrParams) > 0 {
+			var idxs []int
+			for idx := range s.ErrParams {
+				idxs = append(idxs, idx)
+			}
+			sort.Ints(idxs)
+			entry["errParams"] = idxs
+		}
+		if len(s.FrameParams) > 0 {
+			m := map[string]any{}
+			for idx, eff := range s.FrameParams {
+				m[fmt.Sprintf("%d", idx)] = map[string]any{"release": eff.Release.String(), "retains": eff.Retains}
+			}
+			entry["frameParams"] = m
+		}
+		if len(entry) > 0 {
+			out[displayName(fi.Fn)] = entry
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,92 @@
+// Package bufipfix is the golden fixture for the interprocedural
+// frame-ownership check: passing a *wire.Frame to an always-releasing
+// or retaining callee (classified by the summary fixpoint, transitively)
+// retires or transfers the frame; later uses and Releases are findings.
+package bufipfix
+
+import "convexagreement/internal/wire"
+
+// consume takes ownership and always releases.
+func consume(f *wire.Frame) {
+	f.Release()
+}
+
+// forward hands the frame to consume: transitively always-releasing.
+func forward(f *wire.Frame) {
+	consume(f)
+}
+
+type queue struct {
+	frames []*wire.Frame
+}
+
+// stash retains the frame: ownership moves to whoever drains the queue.
+func (q *queue) stash(f *wire.Frame) {
+	q.frames = append(q.frames, f)
+}
+
+func useAfterConsume(f *wire.Frame) {
+	consume(f)
+	_ = f.Bytes() // want `frame f used after .*consume released it`
+}
+
+func useAfterForward(f *wire.Frame) {
+	forward(f)
+	_ = f.Len() // want `frame f used after .*forward released it`
+}
+
+func doubleRelease(f *wire.Frame) {
+	consume(f)
+	f.Release() // want `frame f released twice: .*consume already released it`
+}
+
+func releaseAfterStash(q *queue, f *wire.Frame) {
+	q.stash(f)
+	f.Release() // want `frame f released after ownership moved to .*stash`
+}
+
+func okStash(q *queue, f *wire.Frame) {
+	q.stash(f) // ok: never touched again
+}
+
+func maybeConsume(f *wire.Frame, drop bool) {
+	if drop {
+		f.Release()
+	}
+}
+
+func okMaybe(f *wire.Frame) {
+	maybeConsume(f, false)
+	_ = f.Len() // ok: maybe-release is tracked but not reported
+}
+
+func okBranch(f *wire.Frame, done bool) {
+	if done {
+		consume(f)
+		return
+	}
+	_ = f.Len()
+	consume(f) // ok: the releasing branch returned
+}
+
+func okRebind(a *wire.Arena, f *wire.Frame) {
+	consume(f)
+	f = a.Buffer(16)
+	consume(f) // ok: reassignment binds a fresh frame
+}
+
+func okDeferredConsume(f *wire.Frame) {
+	defer consume(f)
+	_ = f.Len() // ok: the deferred release fires at function exit
+}
+
+func deferredDouble(f *wire.Frame) {
+	defer consume(f)
+	f.Release() // want `frame f released twice: deferred call to .*consume at line \d+ also releases it`
+}
+
+func suppressed(f *wire.Frame) {
+	consume(f)
+	//calint:ignore bufownership-ip fixture demonstrates a reasoned suppression
+	_ = f.Bytes()
+}

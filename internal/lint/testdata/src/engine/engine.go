@@ -1,0 +1,58 @@
+// Package engine is the fixture for the analysis-engine tests: a small
+// call graph with one of every edge kind (static, interface-dispatched,
+// goroutine spawn), a recursive lock helper, and a mutually recursive
+// pair — the shapes the summary fixpoint must terminate on.
+package engine
+
+import (
+	"errors"
+	"sync"
+)
+
+type locker struct{ mu sync.Mutex }
+
+type doer interface{ do() }
+
+type implA struct{}
+
+func (implA) do() {}
+
+type implB struct{}
+
+func (*implB) do() {}
+
+func callDo(d doer) { d.do() }
+
+func leaf() {}
+
+func chainTop() { chainMid() }
+
+func chainMid() { leaf() }
+
+func spawnLeaf() { go leaf() }
+
+// recurseLock nets one acquisition per frame; the summary domain clamps
+// the net so the fixpoint terminates instead of counting forever.
+func recurseLock(l *locker, n int) {
+	l.mu.Lock()
+	if n > 0 {
+		recurseLock(l, n-1)
+	}
+	l.mu.Unlock()
+}
+
+var errDone = errors.New("done")
+
+func mutualA(n int) error {
+	if n == 0 {
+		return errDone
+	}
+	return mutualB(n - 1)
+}
+
+func mutualB(n int) error {
+	if n == 0 {
+		return nil
+	}
+	return mutualA(n - 1)
+}

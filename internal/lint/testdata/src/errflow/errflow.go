@@ -1,0 +1,89 @@
+// Package errflow is the golden fixture for the typed-error-family
+// exhaustiveness check: errors carrying wire.ErrAdmission (produced via
+// %w-wrap, tracked through the callee's summary) must be tested with
+// errors.Is/As or propagated intact; discarding or %v-collapsing them
+// is a finding.
+package errflow
+
+import (
+	"errors"
+	"fmt"
+
+	"convexagreement/internal/wire"
+)
+
+// produce returns an error carrying the wire.ErrAdmission family.
+func produce() error {
+	return fmt.Errorf("ingress: %w", wire.ErrAdmission)
+}
+
+func discard() {
+	produce() // want `error from .*produce can carry wire\.ErrAdmission .* is discarded`
+}
+
+func blank() {
+	_ = produce() // want `error from .*produce can carry wire\.ErrAdmission .* is discarded`
+}
+
+func collapse() error {
+	err := produce() // want `error from .*produce can carry wire\.ErrAdmission .* is neither tested with errors\.Is/As nor propagated`
+	if err != nil {
+		return fmt.Errorf("run failed: %v", err) // %v collapses the chain
+	}
+	return nil
+}
+
+func propagate() error {
+	return produce() // ok: flows to the caller intact
+}
+
+func wrap() error {
+	err := produce()
+	return fmt.Errorf("ingress gave up: %w", err) // ok: %w preserves the family
+}
+
+func handleIs() bool {
+	err := produce()
+	return errors.Is(err, wire.ErrAdmission) // ok: family tested
+}
+
+func handleAs() int {
+	err := produce()
+	var ae *wire.AdmissionError
+	if errors.As(err, &ae) { // ok: family tested by concrete type
+		return len(ae.Detail)
+	}
+	return -1
+}
+
+type sink struct{ last error }
+
+func stash(s *sink) {
+	err := produce()
+	s.last = err // ok: stashed for a later inspection pass
+}
+
+func classify(err error) bool {
+	return errors.Is(err, wire.ErrAdmission)
+}
+
+func viaHelper() {
+	err := produce()
+	_ = classify(err) // ok: the helper tests the family
+}
+
+func keep(err error) {
+	theSink.last = err
+}
+
+var theSink sink
+
+func viaPreserver() {
+	err := produce()
+	keep(err) // ok: the helper's summary says the parameter is preserved
+}
+
+func suppressed() {
+	//calint:ignore errflow fixture demonstrates a reasoned suppression
+	produce()
+}

@@ -1,0 +1,75 @@
+// Package goroleak is the golden fixture for the interprocedural
+// goroutine-leak check: spawn sites whose call tree contains an
+// inescapable loop, in direct, literal, and transitive form, plus the
+// accepted shapes (done-channel select, break, bounded loops).
+package goroleak
+
+func spin() {
+	for {
+	}
+}
+
+func outer() {
+	spin()
+}
+
+func worker(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+func leakStatic() {
+	go spin() // want `goroutine can outlive its owner: .*spin loops forever`
+}
+
+func leakLit() {
+	go func() { // want `func literal loops forever`
+		for {
+		}
+	}()
+}
+
+func leakSelect() {
+	go func() { // want `func literal loops forever`
+		select {}
+	}()
+}
+
+func leakVia() {
+	go outer() // want `outer -> .*spin loops forever`
+}
+
+func leakLitVia() {
+	go func() { // want `func literal -> .*spin loops forever`
+		spin()
+	}()
+}
+
+func okDone(done chan struct{}) {
+	go worker(done)
+}
+
+func okBreak() {
+	go func() {
+		for {
+			break
+		}
+	}()
+}
+
+func okBounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+		}
+	}()
+}
+
+func suppressed() {
+	//calint:ignore goroleak fixture demonstrates a reasoned suppression
+	go spin()
+}

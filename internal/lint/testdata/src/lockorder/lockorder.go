@@ -1,0 +1,63 @@
+// Package lockorder is the golden fixture for the interprocedural
+// lock-order check: a two-class acquisition cycle built across three
+// functions, a static re-acquisition self-deadlock, and a reasoned
+// suppression.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func lockB(b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// forward holds A.mu while its callee acquires B.mu: edge A -> B. The
+// cycle finding is reported here because A.mu leads the canonical cycle.
+func forward(a *A, b *B) {
+	a.mu.Lock()
+	lockB(b) // want `lock-order cycle: lockorder\.A\.mu -> lockorder\.B\.mu .*via.*lockB.* -> lockorder\.A\.mu`
+	a.mu.Unlock()
+}
+
+// backward acquires the same classes in the opposite order: edge B -> A,
+// closing the cycle observed in forward.
+func backward(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+}
+
+// reenter re-acquires a held class through a static callee: with a
+// non-reentrant mutex the second Lock blocks forever.
+func reenter(a *A) {
+	a.mu.Lock()
+	lockA(a) // want `lock class lockorder\.A\.mu acquired via .*lockA while already held .*self-deadlock`
+	a.mu.Unlock()
+}
+
+// suppressed documents the same shape with a reasoned directive; no
+// finding may surface here.
+func suppressed(a *A) {
+	a.mu.Lock()
+	//calint:ignore lockorder fixture demonstrates a reasoned suppression
+	lockA(a)
+	a.mu.Unlock()
+}
+
+// ordered takes both classes in the blessed A-then-B order after the
+// holder released: no new edge direction, no finding.
+func ordered(a *A, b *B) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}

@@ -93,3 +93,36 @@ func (s *server) suppressed() {
 	//calint:ignore mutexhold every other user of this mutex is parked in cond.Wait
 	time.Sleep(time.Millisecond)
 }
+
+// Lock helpers: the held state must route through the callee's summary,
+// so a blocking call after m.locked() is flagged and m.unlocked()
+// actually releases.
+
+type guarded struct{ mu sync.Mutex }
+
+func (g *guarded) locked()   { g.mu.Lock() }
+func (g *guarded) unlocked() { g.mu.Unlock() }
+
+func helperHeld(g *guarded) {
+	g.locked()
+	time.Sleep(time.Millisecond) // want `time.Sleep blocks while g\.mu is held`
+	g.unlocked()
+}
+
+func helperReleased(g *guarded) {
+	g.locked()
+	g.unlocked()
+	time.Sleep(time.Millisecond) // ok: the unlock helper released it
+}
+
+func helperAssigned(g *guarded, m map[string]int) {
+	v := g.lockedLen(m)
+	time.Sleep(time.Millisecond) // want `time.Sleep blocks while g\.mu is held`
+	g.unlocked()
+	_ = v
+}
+
+func (g *guarded) lockedLen(m map[string]int) int {
+	g.mu.Lock()
+	return len(m)
+}

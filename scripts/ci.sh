@@ -23,6 +23,21 @@ go build ./...
 echo "== calint"
 go run ./cmd/calint ./...
 
+echo "== calint-v2 (interprocedural: lockorder, goroleak, errflow, bufownership-ip; 60s budget)"
+# The whole-program checks re-run on their own so this stage times exactly
+# the interprocedural engine: load + summary fixpoint + the four checks
+# over every module package must finish inside the 60s wall-clock budget
+# DESIGN.md §2.12 promises. (The benchjson runtime guard below pins the
+# same budget on the in-process number, without the `go run` overhead.)
+v2_start=$(date +%s)
+go run ./cmd/calint -checks lockorder,goroleak,errflow,bufownership-ip ./...
+v2_elapsed=$(( $(date +%s) - v2_start ))
+echo "calint-v2 completed in ${v2_elapsed}s"
+if [ "$v2_elapsed" -gt 60 ]; then
+	echo "calint-v2 took ${v2_elapsed}s, over the 60s wall-clock budget" >&2
+	exit 1
+fi
+
 echo "== go test"
 go test ./...
 
@@ -66,6 +81,11 @@ echo "== allocs/op regression guard (zero-copy frame path, admission fast path, 
 ( go test -run '^$' -bench 'BenchmarkFrameRoundTrip|BenchmarkAdmission' -benchtime 100x -benchmem ./internal/wire/ ; \
   go test -run '^$' -bench 'BenchmarkWALAppend$' -benchtime 100x -benchmem ./internal/checkpoint/ ) \
 	| go run ./cmd/benchjson -before "$latest" -guard-allocs 'FrameRoundTrip|Admission|WALAppend$' > /dev/null
+
+echo "== calint runtime guard (full-tree analysis within 60s)"
+# One in-process full-tree analyzer run, gated on an absolute ns/op budget.
+go test -run '^$' -bench 'BenchmarkCalintFullTree' -benchtime 1x -benchmem ./internal/lint/ \
+	| go run ./cmd/benchjson -guard-time 'CalintFullTree=60s' > /dev/null
 
 echo "== go test -fuzz smoke (wire frames x2, admission, baplus tuples, checkpoint WAL, scrub)"
 # FuzzReadFrame and FuzzReadFrameInto share a prefix; go test refuses a -fuzz
