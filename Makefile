@@ -2,10 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json profile fuzz ci experiments examples cover clean
+.PHONY: all build vet lint test race bench bench-json profile fuzz ci experiments examples load cover clean
 
 # Benchmarks that feed the perf-trajectory record (see bench-json).
-BENCH_PKGS = ./internal/gf16/ ./internal/rs/ ./internal/sim/ ./internal/merkle/ ./internal/baplus/ ./internal/wire/ ./internal/tcpnet/ ./internal/checkpoint/
+BENCH_PKGS = ./internal/gf16/ ./internal/rs/ ./internal/sim/ ./internal/merkle/ ./internal/baplus/ ./internal/wire/ ./internal/tcpnet/ ./internal/checkpoint/ ./internal/mux/
 
 all: build vet test
 
@@ -40,9 +40,11 @@ bench:
 # per-benchmark speedup summary is printed to stderr.
 bench-json:
 	( $(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) ; \
+	  $(GO) test -run '^$$' -bench BenchmarkSessmuxFlush -benchmem ./internal/sessmux/ ; \
+	  $(GO) test -run '^$$' -bench BenchmarkSessionThroughput -benchtime 1x -benchmem ./internal/sessmux/ ; \
 	  $(GO) test -run '^$$' -bench BenchmarkE18_CrashRecovery -benchtime 3x -benchmem . ; \
 	  $(GO) test -run '^$$' -bench BenchmarkSweepN1024 -benchtime 1x -benchmem . ) \
-		| $(GO) run ./cmd/benchjson -before BENCH_PR6.json > BENCH_PR7.json
+		| $(GO) run ./cmd/benchjson -before BENCH_PR7.json > BENCH_PR8.json
 
 # Capture CPU and heap profiles for the headline decode benchmark (override
 # PROFILE_BENCH/PROFILE_PKG to profile something else). go test drops the
@@ -81,6 +83,12 @@ cover:
 # Regenerate every reproduction experiment table (see EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/cabench
+
+# Session-mux load run: 4 waves of 256 concurrent sessions over one shared
+# in-process mesh of 16 parties, with per-session agreement verification
+# (see cmd/caload; add LOAD_FLAGS="-transport tcp" for a TCP loopback mesh).
+load:
+	$(GO) run ./cmd/caload -n 16 -sessions 256 -waves 4 $(LOAD_FLAGS)
 
 examples:
 	$(GO) run ./examples/quickstart

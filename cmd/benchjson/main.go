@@ -47,12 +47,16 @@ import (
 )
 
 // metrics holds one benchmark's parsed values; pointers distinguish "not
-// reported" (e.g. no -benchmem) from a literal zero.
+// reported" (e.g. no -benchmem) from a literal zero. Custom units emitted
+// via b.ReportMetric (sessions/sec, frames/tick, MiB/party, …) land in
+// Extra keyed by their unit string, so domain throughput numbers ride the
+// perf-trajectory record next to the standard four.
 type metrics struct {
-	NsOp     *float64 `json:"ns_op,omitempty"`
-	MBs      *float64 `json:"mb_s,omitempty"`
-	BOp      *float64 `json:"b_op,omitempty"`
-	AllocsOp *float64 `json:"allocs_op,omitempty"`
+	NsOp     *float64           `json:"ns_op,omitempty"`
+	MBs      *float64           `json:"mb_s,omitempty"`
+	BOp      *float64           `json:"b_op,omitempty"`
+	AllocsOp *float64           `json:"allocs_op,omitempty"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
 }
 
 var procSuffix = regexp.MustCompile(`-\d+$`)
@@ -81,6 +85,11 @@ func parse(r *bufio.Scanner) (map[string]*metrics, error) {
 				m.BOp = &v
 			case "allocs/op":
 				m.AllocsOp = &v
+			default:
+				if m.Extra == nil {
+					m.Extra = make(map[string]float64)
+				}
+				m.Extra[fields[i+1]] = v
 			}
 		}
 		out[name] = m

@@ -1,0 +1,265 @@
+// Command caload drives session-mux load: many concurrent agreement
+// sessions multiplexed over ONE shared mesh per party, in waves, and
+// reports sustained sessions/sec plus the mux's coalescing and zero-copy
+// counters. It is the operational twin of BenchmarkSessionThroughput —
+// same machinery, but runnable standalone and over a real TCP loopback
+// mesh as well as the in-process channel hub.
+//
+//	caload -n 16 -sessions 256 -waves 4                 # channel hub
+//	caload -n 8 -sessions 128 -waves 2 -transport tcp   # TCP loopback mesh
+//
+// Every session is verified: all its participants must output the same
+// value, and the value must lie in the hull of the session's inputs. A
+// violation exits with code 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	ca "convexagreement"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		n         = flag.Int("n", 16, "parties in the shared mesh")
+		t         = flag.Int("t", 0, "corruption budget per session (default ⌊(n−1)/3⌋)")
+		sessions  = flag.Int("sessions", 256, "concurrent sessions per wave")
+		waves     = flag.Int("waves", 4, "number of session waves")
+		transport = flag.String("transport", "chan", "mesh transport: chan | tcp")
+		protoName = flag.String("protocol", string(ca.ProtoOptimal), "protocol run in each session")
+		delta     = flag.Duration("delta", 5*time.Second, "synchrony bound Δ per round (tcp)")
+	)
+	flag.Parse()
+	if *n < 4 || *sessions < 1 || *waves < 1 {
+		fmt.Fprintln(os.Stderr, "caload: need -n ≥ 4, -sessions ≥ 1, -waves ≥ 1")
+		return 2
+	}
+	if *t == 0 {
+		*t = (*n - 1) / 3
+	}
+	proto := ca.Protocol(*protoName)
+
+	trs, cleanup, err := buildMesh(*transport, *n, *t, *delta)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "caload:", err)
+		return 1
+	}
+	defer cleanup()
+
+	fmt.Printf("caload: n=%d t=%d transport=%s sessions/wave=%d waves=%d protocol=%s\n",
+		*n, *t, *transport, *sessions, *waves, proto)
+
+	total := *sessions * *waves
+	// outs[s][p] is party p's output for global session s.
+	outs := make([][]*big.Int, total)
+	for s := range outs {
+		outs[s] = make([]*big.Int, *n)
+	}
+	errs := make([]error, *n)
+	var stats ca.SessionMuxStats
+	var statsMu sync.Mutex
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < *n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sm := ca.NewSessionMux(trs[p])
+			for w := 0; w < *waves; w++ {
+				if errs[p] = runWave(sm, p, w, *sessions, *n, *t, proto, outs); errs[p] != nil {
+					return
+				}
+			}
+			statsMu.Lock()
+			st := sm.Stats()
+			if st.Ticks > stats.Ticks {
+				stats = st
+			}
+			statsMu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for p, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "caload: party %d: %v\n", p, err)
+			return 1
+		}
+	}
+	if bad := verify(outs, *n); bad != "" {
+		fmt.Fprintln(os.Stderr, "caload:", bad)
+		return 1
+	}
+
+	rate := float64(total) / elapsed.Seconds()
+	fmt.Printf("caload: %d sessions agreed in %v (%.1f sessions/sec)\n", total, elapsed.Round(time.Millisecond), rate)
+	coalesce := 0.0
+	if stats.Ticks > 0 {
+		coalesce = float64(stats.Packets) / float64(stats.Ticks)
+	}
+	fmt.Printf("caload: ticks=%d packets=%d coalesced=%.1f frames/tick zero-copy=%dB copied=%dB shed=%d\n",
+		stats.Ticks, stats.Packets, coalesce, stats.BytesReferenced, stats.BytesCopied,
+		stats.SessionShed+stats.TickShed)
+	return 0
+}
+
+// runWave opens the whole wave before driving any session (all sessions of
+// a wave must land on the same tick), runs them concurrently, and records
+// outputs.
+func runWave(sm *ca.SessionMux, p, wave, sessions, n, t int, proto ca.Protocol, outs [][]*big.Int) error {
+	mts := make([]*ca.MuxedTransport, sessions)
+	for s := 0; s < sessions; s++ {
+		sid := uint64(wave*sessions + s + 1)
+		mt, err := sm.Open(sid, n, t)
+		if err != nil {
+			return fmt.Errorf("wave %d open sid %d: %w", wave, sid, err)
+		}
+		mts[s] = mt
+	}
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			defer mts[s].Close()
+			global := wave*sessions + s
+			input := big.NewInt(sessionInput(global, p))
+			out, err := ca.RunParty(mts[s], proto, 0, input)
+			if err != nil {
+				errs[s] = fmt.Errorf("wave %d session %d: %w", wave, s, err)
+				return
+			}
+			outs[global][p] = out
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sessionInput spreads inputs so each session agrees on a distinct hull:
+// party p's input for global session s.
+func sessionInput(s, p int) int64 {
+	return int64(s)*1000 + int64(p*7%50)
+}
+
+// verify checks agreement and convex validity for every session.
+func verify(outs [][]*big.Int, n int) string {
+	for s, parties := range outs {
+		lo, hi := sessionInput(s, 0), sessionInput(s, 0)
+		for p := 1; p < n; p++ {
+			v := sessionInput(s, p)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		for p := 0; p < n; p++ {
+			out := parties[p]
+			if out == nil {
+				return fmt.Sprintf("session %d: party %d produced no output", s, p)
+			}
+			if out.Cmp(parties[0]) != 0 {
+				return fmt.Sprintf("session %d: disagreement %v vs %v", s, out, parties[0])
+			}
+			if out.Cmp(big.NewInt(lo)) < 0 || out.Cmp(big.NewInt(hi)) > 0 {
+				return fmt.Sprintf("session %d: output %v outside hull [%d,%d]", s, out, lo, hi)
+			}
+		}
+	}
+	return ""
+}
+
+// buildMesh returns one connected Transport per party.
+func buildMesh(kind string, n, t int, delta time.Duration) ([]ca.Transport, func(), error) {
+	switch kind {
+	case "chan":
+		cluster, err := ca.NewLocalCluster(n, t)
+		if err != nil {
+			return nil, nil, err
+		}
+		trs := make([]ca.Transport, n)
+		for i, c := range cluster {
+			trs[i] = c
+		}
+		cleanup := func() {
+			for _, c := range cluster {
+				c.Close()
+			}
+		}
+		return trs, cleanup, nil
+	case "tcp":
+		listeners := make([]net.Listener, n)
+		addrs := make([]string, n)
+		for i := 0; i < n; i++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, nil, err
+			}
+			listeners[i] = ln
+			addrs[i] = ln.Addr().String()
+		}
+		trs := make([]ca.Transport, n)
+		tcps := make([]*ca.TCPTransport, n)
+		var wg sync.WaitGroup
+		dialErrs := make([]error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				tr, err := ca.DialTCP(ca.TCPConfig{
+					ID:           i,
+					Addrs:        addrs,
+					T:            t,
+					Delta:        delta,
+					Listener:     listeners[i],
+					RejoinWindow: -1, // pure scatter-gather writes
+				})
+				if err != nil {
+					dialErrs[i] = err
+					return
+				}
+				tcps[i] = tr
+				trs[i] = tr
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range dialErrs {
+			if err != nil {
+				for _, tr := range tcps {
+					if tr != nil {
+						tr.Close()
+					}
+				}
+				return nil, nil, err
+			}
+		}
+		cleanup := func() {
+			for _, tr := range tcps {
+				tr.Close()
+			}
+		}
+		return trs, cleanup, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown -transport %q (chan | tcp)", kind)
+	}
+}

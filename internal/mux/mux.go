@@ -36,6 +36,7 @@ var ErrAborted = errors.New("mux: composition aborted by a failed instance")
 // virtual nets with Net, or drive everything with Run.
 type Mux struct {
 	base      transport.Net
+	vec       transport.VecNet // non-nil when base can take scatter-gather packets
 	instances int
 
 	mu        sync.Mutex
@@ -53,7 +54,27 @@ type Mux struct {
 	// from its heaviest sender is shed (see shedInto) so a flooding peer
 	// displaces its own traffic, never an honest neighbor's.
 	inboxBound int
-	shed       uint64
+	stats      Stats
+
+	// Scratch for the vec merge path, reused across physical rounds: the
+	// base's ExchangeVec contract frees the pieces when it returns, so
+	// unlike the copying path's bump buffer these can live on.
+	hdrBuf  []byte
+	vecBuf  [][]byte
+	pktsBuf []transport.VecPacket
+}
+
+// Stats are cumulative counters for one Mux. BytesReferenced counts
+// payload bytes handed to the base transport by reference over the VecNet
+// fast path; BytesCopied counts payload bytes that went through the
+// copying merge because the base is a plain Net. Their split shows what
+// the zero-copy path is worth: on a VecNet base, BytesCopied stays 0.
+type Stats struct {
+	Rounds          uint64 // physical rounds flushed
+	Packets         uint64 // merged packets shipped to the base
+	BytesReferenced uint64 // payload bytes sent zero-copy (vec path)
+	BytesCopied     uint64 // payload bytes copied into the bump buffer
+	Shed            uint64 // messages shed by the inbox bound
 }
 
 // New creates a composition of the given number of instances.
@@ -68,6 +89,9 @@ func New(base transport.Net, instances int) (*Mux, error) {
 		pending:    make(map[int][]transport.Packet, instances),
 		inboxes:    make(map[int][]transport.Message, instances),
 		inboxBound: -1, // default: 64·n, resolved at flush time
+	}
+	if vn, ok := base.(transport.VecNet); ok {
+		m.vec = vn
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m, nil
@@ -92,7 +116,14 @@ func (m *Mux) SetInboxBound(bound int) {
 func (m *Mux) Shed() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.shed
+	return m.stats.Shed
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (m *Mux) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
 }
 
 // Net returns instance i's virtual transport. Each virtual net must be
@@ -108,6 +139,13 @@ func (m *Mux) Done(i int) {
 	defer m.mu.Unlock()
 	m.live--
 	delete(m.pending, i)
+	// The interface-dispatch cycle the lockorder check sees here
+	// (mux.mu -> sessmux.mu via Exchange on a sessmux.Session base, and
+	// the reverse via sessmux's base being a mux instance net) would need
+	// a transport stack that loops back through itself; stacks are
+	// strictly layered by construction, so only one of the two orders can
+	// exist in any program.
+	//calint:ignore lockorder nested muxes layer one way; the reverse edge needs a self-containing transport stack
 	m.maybeFlush()
 }
 
@@ -184,40 +222,19 @@ func (m *Mux) maybeFlush() {
 		insts = append(insts, inst)
 	}
 	sort.Ints(insts)
-	// One bump buffer carries every framed payload of the physical round
-	// (one allocation instead of one per packet); each frame is carved out
-	// with a full slice expression so an append through one carved slice
-	// can never bleed into the next frame. The buffer must be fresh every
-	// round: downstream transports retain payloads by reference (in-proc
-	// delivery, fault-injection delay queues), so the carved frames'
-	// lifetime is out of our hands the moment Exchange takes them.
-	total, packets := 0, 0
-	for _, inst := range insts {
-		for _, p := range m.pending[inst] {
-			total += uvarintLen(uint64(inst)) + len(p.Payload)
-			packets++
-		}
+	var in []transport.Message
+	var err error
+	if m.vec != nil {
+		in, err = m.flushVec(insts)
+	} else {
+		in, err = m.flushCopy(insts)
 	}
-	buf := make([]byte, 0, total)
-	merged := make([]transport.Packet, 0, packets)
-	for _, inst := range insts {
-		for _, p := range m.pending[inst] {
-			mark := len(buf)
-			buf = binary.AppendUvarint(buf, uint64(inst))
-			buf = append(buf, p.Payload...)
-			merged = append(merged, transport.Packet{
-				To:      p.To,
-				Tag:     p.Tag,
-				Payload: buf[mark:len(buf):len(buf)],
-			})
-		}
-	}
-	in, err := m.base.Exchange(merged)
 	if err != nil {
 		m.err = fmt.Errorf("mux: physical round: %w", err)
 		m.cond.Broadcast()
 		return
 	}
+	m.stats.Rounds++
 	bound := m.inboxBound
 	if bound < 0 {
 		bound = 64 * m.base.N()
@@ -238,7 +255,7 @@ func (m *Mux) maybeFlush() {
 				counts[inst] = senderCounts(inboxes[inst], m.base.N())
 			}
 			inboxes[inst] = shedInto(inboxes[inst], counts[inst], delivered)
-			m.shed++
+			m.stats.Shed++
 			continue
 		}
 		inboxes[inst] = append(inboxes[inst], delivered)
@@ -251,6 +268,98 @@ func (m *Mux) maybeFlush() {
 	m.submitted = 0
 	m.gen++
 	m.cond.Broadcast()
+}
+
+// flushCopy merges the pending packets for a plain-Net base. One bump
+// buffer carries every framed payload of the physical round (one
+// allocation instead of one per packet); each frame is carved out with a
+// full slice expression so an append through one carved slice can never
+// bleed into the next frame. The buffer must be fresh every round:
+// downstream transports retain payloads by reference (in-proc delivery,
+// fault-injection delay queues), so the carved frames' lifetime is out of
+// our hands the moment Exchange takes them. Caller holds m.mu.
+func (m *Mux) flushCopy(insts []int) ([]transport.Message, error) {
+	total, packets := 0, 0
+	for _, inst := range insts {
+		for _, p := range m.pending[inst] {
+			total += uvarintLen(uint64(inst)) + len(p.Payload)
+			packets++
+		}
+	}
+	buf := make([]byte, 0, total)
+	merged := make([]transport.Packet, 0, packets)
+	for _, inst := range insts {
+		for _, p := range m.pending[inst] {
+			mark := len(buf)
+			buf = binary.AppendUvarint(buf, uint64(inst))
+			buf = append(buf, p.Payload...)
+			merged = append(merged, transport.Packet{
+				To:      p.To,
+				Tag:     p.Tag,
+				Payload: buf[mark:len(buf):len(buf)],
+			})
+			m.stats.BytesCopied += uint64(len(p.Payload))
+		}
+	}
+	m.stats.Packets += uint64(packets)
+	return m.base.Exchange(merged)
+}
+
+// flushVec merges the pending packets for a VecNet base without copying a
+// single payload byte: each merged packet is a two-piece vector — its
+// instance-id varint carved from one shared header buffer, and the
+// instance's payload by reference. ExchangeVec frees the pieces when it
+// returns, so the header buffer and both scratch slices are reused across
+// physical rounds; they are sized exactly up front because a mid-merge
+// regrowth would move the header bytes out from under the already-carved
+// varint pieces. Caller holds m.mu.
+func (m *Mux) flushVec(insts []int) ([]transport.Message, error) {
+	hdrLen, packets := 0, 0
+	for _, inst := range insts {
+		for range m.pending[inst] {
+			hdrLen += uvarintLen(uint64(inst))
+			packets++
+		}
+	}
+	if cap(m.hdrBuf) < hdrLen {
+		m.hdrBuf = make([]byte, 0, hdrLen)
+	}
+	if cap(m.vecBuf) < 2*packets {
+		m.vecBuf = make([][]byte, 0, 2*packets)
+	}
+	if cap(m.pktsBuf) < packets {
+		m.pktsBuf = make([]transport.VecPacket, 0, packets)
+	}
+	buf, vecs, merged := m.hdrBuf[:0], m.vecBuf[:0], m.pktsBuf[:0]
+	for _, inst := range insts {
+		for _, p := range m.pending[inst] {
+			mark := len(buf)
+			buf = binary.AppendUvarint(buf, uint64(inst))
+			vmark := len(vecs)
+			vecs = append(vecs, buf[mark:len(buf):len(buf)])
+			if len(p.Payload) > 0 {
+				vecs = append(vecs, p.Payload)
+			}
+			merged = append(merged, transport.VecPacket{
+				To:  p.To,
+				Tag: p.Tag,
+				Vec: vecs[vmark:len(vecs):len(vecs)],
+			})
+			m.stats.BytesReferenced += uint64(len(p.Payload))
+		}
+	}
+	m.stats.Packets += uint64(packets)
+	in, err := m.vec.ExchangeVec(merged)
+	// The base is done with the pieces; clear the payload references so the
+	// scratch slices don't pin caller buffers until the next flush.
+	for i := range vecs {
+		vecs[i] = nil
+	}
+	for i := range merged {
+		merged[i].Vec = nil
+	}
+	m.hdrBuf, m.vecBuf, m.pktsBuf = buf, vecs, merged
+	return in, err
 }
 
 // instanceNet is the virtual transport of one instance.

@@ -1,0 +1,598 @@
+// Package sessmux multiplexes many independent agreement SESSIONS over one
+// physical per-peer link set. It generalizes package mux one level up: mux
+// composes k instances of equal shape inside one protocol run; sessmux
+// composes whole protocol runs — each session has its own participant
+// count n, corruption budget t, inputs, and lifecycle — over a shared
+// transport, so a deployment holds one TCP mesh open instead of one per
+// agreement.
+//
+// # Scheduling model
+//
+// The mux advances in ticks. One tick is one physical round of the base
+// transport and carries exactly one virtual round of every live local
+// session: a tick closes when all live sessions have submitted their
+// round (Exchange), the merged traffic ships as one base round — on a
+// VecNet base every session's frames for the same peer coalesce into the
+// same writev, payloads by reference — and the inbox demultiplexes by
+// session id. The base transport's blocking round is the cross-party
+// synchronizer: parties whose session sets differ still tick in lock
+// step, and a party with no live sessions keeps the clock with Idle.
+//
+// # Lock-step contract
+//
+// Every participant of session sid must open it at the same tick with the
+// same (n, t), and its participants are base parties 0..n-1. Closing is
+// local: a closed session simply stops contributing traffic, which peers
+// observe as omission — one session's failure never tears down its
+// siblings (unlike mux, whose instances abort together, sessions are
+// independent protocol runs with independent fates).
+//
+// # Backpressure
+//
+// Two deterministic bounds extend the mux inboxBound policy to the
+// session axis. Per session: at most sessionBound messages per tick,
+// shedding the heaviest sender's oldest message (a flooding peer degrades
+// itself). Per tick: at most tickBound messages across all sessions,
+// shedding from the heaviest session (ties to the lowest sid) — one
+// flooded session degrades itself before it starves a sibling. Both
+// policies are pure functions of delivery order, so fault-injection
+// replays stay digest-exact.
+package sessmux
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"convexagreement/internal/transport"
+)
+
+// ErrClosed reports an Exchange on a session that was closed locally.
+var ErrClosed = errors.New("sessmux: session closed")
+
+// Mux multiplexes sessions over one base transport. Create with New, open
+// sessions with Open, keep the tick clock with Idle when none are live.
+type Mux struct {
+	base transport.Net
+	vec  transport.VecNet // non-nil when the base takes scatter-gather packets
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	open      map[uint64]*Session
+	retired   map[uint64]bool
+	live      int
+	submitted int
+	tick      uint64
+	err       error
+
+	// sessionBound caps one session's inbox per tick (negative: default
+	// 64·n_s, resolved per session at demux time; 0: unbounded).
+	// tickBound caps the whole tick's deliveries across sessions
+	// (negative: default 64·N·live; 0: unbounded).
+	sessionBound int
+	tickBound    int
+
+	stats   Stats
+	shedBy  map[uint64]uint64
+	sidsBuf []uint64
+
+	// Scratch for the vec merge path, reused across ticks: the base's
+	// ExchangeVec contract frees the pieces when it returns.
+	hdrBuf  []byte
+	vecBuf  [][]byte
+	pktsBuf []transport.VecPacket
+}
+
+// Stats are cumulative counters for one Mux. Packets/Ticks is the
+// coalescing ratio: how many session frames ride in each physical round
+// (on a TCP base, each peer's share of a tick is one writev).
+// BytesReferenced counts payload bytes handed to the base by reference
+// over the VecNet fast path; BytesCopied counts payload bytes that went
+// through the copying merge on a plain base — on a VecNet base it stays 0.
+type Stats struct {
+	Ticks           uint64 // physical rounds driven
+	Packets         uint64 // session frames shipped, all sessions coalesced
+	BytesReferenced uint64 // payload bytes sent zero-copy (vec path)
+	BytesCopied     uint64 // payload bytes copied into the merge buffer
+	SessionShed     uint64 // messages shed by the per-session bound
+	TickShed        uint64 // messages shed by the whole-tick bound
+}
+
+// New creates a session mux over base. The base must not be driven by
+// anyone else from this point on: the mux owns its round clock.
+func New(base transport.Net) *Mux {
+	m := &Mux{
+		base:         base,
+		open:         make(map[uint64]*Session),
+		retired:      make(map[uint64]bool),
+		shedBy:       make(map[uint64]uint64),
+		sessionBound: -1,
+		tickBound:    -1,
+	}
+	if vn, ok := base.(transport.VecNet); ok {
+		m.vec = vn
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// SetSessionBound caps each session's per-tick inbox (0 or negative:
+// unbounded / default 64·n_s). Call before traffic flows.
+func (m *Mux) SetSessionBound(bound int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionBound = bound
+}
+
+// SetTickBound caps the whole tick's deliveries across sessions (0 or
+// negative: unbounded / default 64·N·live). Call before traffic flows.
+func (m *Mux) SetTickBound(bound int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tickBound = bound
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (m *Mux) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ShedBySession returns per-session shed counts (both bounds combined),
+// keyed by sid. Only sessions that shed appear.
+func (m *Mux) ShedBySession() map[uint64]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[uint64]uint64, len(m.shedBy))
+	for sid, c := range m.shedBy {
+		out[sid] = c
+	}
+	return out
+}
+
+// Live reports the number of locally live sessions.
+func (m *Mux) Live() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.live
+}
+
+// Open starts session sid with n participants (base parties 0..n-1) and
+// corruption budget t. Every participant must open it at the same tick
+// with the same (n, t); this party must be a participant. Session ids are
+// single-use — reopening a retired sid would let a peer's late frames
+// from the old lifetime leak into the new one, so it is refused.
+func (m *Mux) Open(sid uint64, n, t int) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return nil, m.err
+	}
+	if n < 1 || n > m.base.N() {
+		return nil, fmt.Errorf("sessmux: session %d: n=%d outside 1..%d", sid, n, m.base.N())
+	}
+	if t < 0 || 3*t >= n {
+		return nil, fmt.Errorf("sessmux: session %d: t=%d violates 3t < n=%d", sid, t, n)
+	}
+	if int(m.base.ID()) >= n {
+		return nil, fmt.Errorf("sessmux: session %d: party %d is not a participant (n=%d)", sid, m.base.ID(), n)
+	}
+	if _, dup := m.open[sid]; dup {
+		return nil, fmt.Errorf("sessmux: session %d already open", sid)
+	}
+	if m.retired[sid] {
+		return nil, fmt.Errorf("sessmux: session id %d already used", sid)
+	}
+	s := &Session{m: m, sid: sid, n: n, t: t}
+	m.open[sid] = s
+	m.live++
+	return s, nil
+}
+
+// Idle keeps the tick clock for a party with no live sessions: it drives
+// (or waits out) exactly one tick, exchanging nothing. Call it once per
+// tick for as long as peers still run sessions this party is not part of.
+func (m *Mux) Idle() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return m.err
+	}
+	my := m.tick
+	if m.live == 0 {
+		m.flush()
+		return m.err
+	}
+	for m.tick == my && m.err == nil {
+		m.cond.Wait()
+	}
+	return m.err
+}
+
+// Session is one live agreement session: a transport.Net whose rounds are
+// the mux's ticks. Drive it from exactly one goroutine; Close it when the
+// protocol finishes so sibling sessions stop waiting for it.
+type Session struct {
+	m   *Mux
+	sid uint64
+	n   int
+	t   int
+
+	pended  bool
+	closed  bool
+	pending []transport.Packet
+	inbox   []transport.Message
+}
+
+var _ transport.Net = (*Session)(nil)
+
+// Sid returns the session id.
+func (s *Session) Sid() uint64 { return s.sid }
+
+// ID returns this party's identifier — session participants are base
+// parties under their base ids.
+func (s *Session) ID() transport.PartyID { return s.m.base.ID() }
+
+// N returns the session's participant count.
+func (s *Session) N() int { return s.n }
+
+// T returns the session's corruption budget.
+func (s *Session) T() int { return s.t }
+
+// Exchange submits this session's virtual round and blocks until the tick
+// closes. Packets to parties outside the session are dropped.
+func (s *Session) Exchange(out []transport.Packet) ([]transport.Message, error) {
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return nil, m.err
+	}
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.pended {
+		return nil, fmt.Errorf("sessmux: session %d submitted its round twice", s.sid)
+	}
+	my := m.tick
+	s.pending = out
+	s.pended = true
+	m.submitted++
+	m.maybeFlush()
+	for m.tick == my && m.err == nil {
+		m.cond.Wait()
+	}
+	if m.err != nil {
+		return nil, m.err
+	}
+	return s.inbox, nil
+}
+
+// Close retires the session locally. Peers are not told: they observe
+// omission from this party, which byzantine-tolerant sessions absorb
+// within their corruption budget. Closing between Exchanges (never
+// concurrently with one) is the caller's obligation; Run does it right.
+func (s *Session) Close() {
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.pended {
+		s.pended = false
+		s.pending = nil
+		m.submitted--
+	}
+	delete(m.open, s.sid)
+	m.retired[s.sid] = true
+	m.live--
+	// The departed session may have been the last holdout of the tick.
+	m.maybeFlush()
+}
+
+// Run opens a session, executes fn over it, and closes it whatever the
+// outcome — the session-scoped counterpart of mux.Run. When a party
+// starts several sessions for the same tick, Open them all before driving
+// any (Run opens on entry, so concurrent Run calls race on which tick
+// each open lands in — fine for staggered workloads, wrong for a batch
+// that must start together).
+func (m *Mux) Run(sid uint64, n, t int, fn func(net transport.Net) error) error {
+	s, err := m.Open(sid, n, t)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return fn(s)
+}
+
+// maybeFlush closes the tick once every live session has submitted.
+// Caller holds m.mu; the base Exchange happens under the lock, which is
+// safe because every other user of this mux is blocked in cond.Wait.
+func (m *Mux) maybeFlush() {
+	if m.err != nil || m.live == 0 || m.submitted < m.live {
+		return
+	}
+	m.flush()
+}
+
+// flush runs one physical round: merge in ascending session order (map
+// order would break seed-exact fault-injection replay), exchange, demux,
+// bound, advance the tick. Caller holds m.mu.
+func (m *Mux) flush() {
+	sids := m.sidsBuf[:0]
+	for sid, s := range m.open {
+		if s.pended {
+			sids = append(sids, sid)
+		}
+	}
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+
+	var in []transport.Message
+	var err error
+	if m.vec != nil {
+		in, err = m.flushVec(sids)
+	} else {
+		in, err = m.flushCopy(sids)
+	}
+	if err != nil {
+		// A base failure poisons the whole mux: without the shared round
+		// clock no session can make progress.
+		m.err = fmt.Errorf("sessmux: physical round: %w", err)
+		m.cond.Broadcast()
+		return
+	}
+	m.stats.Ticks++
+	m.demux(in)
+
+	for _, sid := range sids {
+		if s := m.open[sid]; s != nil {
+			s.pended = false
+			s.pending = nil
+		}
+	}
+	m.sidsBuf = sids
+	m.submitted = 0
+	m.tick++
+	m.cond.Broadcast()
+}
+
+// demux routes delivered messages to their sessions and applies both
+// bounds. Caller holds m.mu.
+func (m *Mux) demux(in []transport.Message) {
+	for _, s := range m.open {
+		s.inbox = nil
+	}
+	bound := m.sessionBound
+	total := 0
+	var counts map[uint64][]int // per session: messages held per sender
+	for _, msg := range in {
+		sid, payload, ok := unframe(msg.Payload)
+		if !ok {
+			continue // undecodable byzantine frame
+		}
+		s := m.open[sid]
+		if s == nil || int(msg.From) >= s.n {
+			continue // not a local session, or sender not a participant
+		}
+		b := bound
+		if b < 0 {
+			b = 64 * s.n
+		}
+		delivered := transport.Message{From: msg.From, Payload: payload}
+		if b > 0 && len(s.inbox) >= b {
+			if counts == nil {
+				counts = make(map[uint64][]int)
+			}
+			if counts[sid] == nil {
+				counts[sid] = senderCounts(s.inbox, s.n)
+			}
+			s.inbox = shedInto(s.inbox, counts[sid], delivered)
+			m.stats.SessionShed++
+			m.shedBy[sid]++
+			continue
+		}
+		s.inbox = append(s.inbox, delivered)
+		total++
+		if counts != nil && counts[sid] != nil && int(msg.From) < len(counts[sid]) {
+			counts[sid][msg.From]++
+		}
+	}
+
+	tb := m.tickBound
+	if tb < 0 {
+		tb = 64 * m.base.N() * m.live
+	}
+	if tb <= 0 || total <= tb {
+		return
+	}
+	// Shed from the heaviest session (ties to the lowest sid), oldest
+	// message first, until the tick fits. Iterate over a sorted sid list:
+	// determinism again.
+	sids := make([]uint64, 0, len(m.open))
+	for sid := range m.open {
+		sids = append(sids, sid)
+	}
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+	for total > tb {
+		heavy := -1
+		for i := range sids {
+			if heavy < 0 || len(m.open[sids[i]].inbox) > len(m.open[sids[heavy]].inbox) {
+				heavy = i
+			}
+		}
+		s := m.open[sids[heavy]]
+		if len(s.inbox) == 0 {
+			break
+		}
+		s.inbox = s.inbox[1:]
+		total--
+		m.stats.TickShed++
+		m.shedBy[s.sid]++
+	}
+}
+
+// flushCopy merges the tick's packets for a plain-Net base: one bump
+// buffer carries every framed payload (fresh each tick — downstream
+// transports retain payloads by reference), each frame carved with a full
+// slice expression. Caller holds m.mu.
+func (m *Mux) flushCopy(sids []uint64) ([]transport.Message, error) {
+	total, packets := 0, 0
+	for _, sid := range sids {
+		s := m.open[sid]
+		for i := range s.pending {
+			if p := &s.pending[i]; p.To >= 0 && int(p.To) < s.n {
+				total += uvarintLen(sid) + len(p.Payload)
+				packets++
+			}
+		}
+	}
+	buf := make([]byte, 0, total)
+	merged := make([]transport.Packet, 0, packets)
+	for _, sid := range sids {
+		s := m.open[sid]
+		for i := range s.pending {
+			p := &s.pending[i]
+			if p.To < 0 || int(p.To) >= s.n {
+				continue
+			}
+			mark := len(buf)
+			buf = binary.AppendUvarint(buf, sid)
+			buf = append(buf, p.Payload...)
+			merged = append(merged, transport.Packet{
+				To:      p.To,
+				Tag:     p.Tag,
+				Payload: buf[mark:len(buf):len(buf)],
+			})
+			m.stats.BytesCopied += uint64(len(p.Payload))
+		}
+	}
+	m.stats.Packets += uint64(packets)
+	return m.base.Exchange(merged)
+}
+
+// flushVec merges the tick's packets for a VecNet base without copying a
+// payload byte: each merged packet is a two-piece vector — session-id
+// varint carved from one shared header buffer, payload by reference.
+// ExchangeVec frees the pieces on return, so all three scratch slices are
+// reused across ticks; they are sized exactly up front because a
+// mid-merge regrowth would move the header bytes out from under the
+// already-carved varint pieces. Caller holds m.mu.
+func (m *Mux) flushVec(sids []uint64) ([]transport.Message, error) {
+	hdrLen, packets := 0, 0
+	for _, sid := range sids {
+		s := m.open[sid]
+		for i := range s.pending {
+			if p := &s.pending[i]; p.To >= 0 && int(p.To) < s.n {
+				hdrLen += uvarintLen(sid)
+				packets++
+			}
+		}
+	}
+	if cap(m.hdrBuf) < hdrLen {
+		m.hdrBuf = make([]byte, 0, hdrLen)
+	}
+	if cap(m.vecBuf) < 2*packets {
+		m.vecBuf = make([][]byte, 0, 2*packets)
+	}
+	if cap(m.pktsBuf) < packets {
+		m.pktsBuf = make([]transport.VecPacket, 0, packets)
+	}
+	buf, vecs, merged := m.hdrBuf[:0], m.vecBuf[:0], m.pktsBuf[:0]
+	for _, sid := range sids {
+		s := m.open[sid]
+		for i := range s.pending {
+			p := &s.pending[i]
+			if p.To < 0 || int(p.To) >= s.n {
+				continue
+			}
+			mark := len(buf)
+			buf = binary.AppendUvarint(buf, sid)
+			vmark := len(vecs)
+			vecs = append(vecs, buf[mark:len(buf):len(buf)])
+			if len(p.Payload) > 0 {
+				vecs = append(vecs, p.Payload)
+			}
+			merged = append(merged, transport.VecPacket{
+				To:  p.To,
+				Tag: p.Tag,
+				Vec: vecs[vmark:len(vecs):len(vecs)],
+			})
+			m.stats.BytesReferenced += uint64(len(p.Payload))
+		}
+	}
+	m.stats.Packets += uint64(packets)
+	in, err := m.vec.ExchangeVec(merged)
+	// The base is done with the pieces; drop the references so the scratch
+	// slices don't pin session buffers until the next tick.
+	for i := range vecs {
+		vecs[i] = nil
+	}
+	for i := range merged {
+		merged[i].Vec = nil
+	}
+	m.hdrBuf, m.vecBuf, m.pktsBuf = buf, vecs, merged
+	return in, err
+}
+
+// uvarintLen returns the encoded size of v, so merge buffers can be sized
+// exactly (a mid-merge regrowth would cost the allocation the buffer
+// exists to avoid — and on the vec path, correctness).
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// unframe splits a session frame; ok=false on malformed input. Everything
+// after the session-id varint is the payload.
+func unframe(raw []byte) (uint64, []byte, bool) {
+	sid, n := binary.Uvarint(raw)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	return sid, raw[n:], true
+}
+
+// senderCounts tallies messages per sender in box, so the shed policy can
+// identify the heaviest sender. Built lazily: honest rounds never hit the
+// bound and never pay for it.
+func senderCounts(box []transport.Message, n int) []int {
+	counts := make([]int, n)
+	for _, msg := range box {
+		if int(msg.From) < n {
+			counts[msg.From]++
+		}
+	}
+	return counts
+}
+
+// shedInto applies shed-oldest-from-faulty to a full inbox: the heaviest
+// sender (ties to the lowest id — deterministic for replay) is presumed
+// the flooder. If the incoming sender is at least as heavy the incoming
+// message is dropped; otherwise the heaviest sender's oldest message is
+// evicted. Exactly one message is shed either way.
+func shedInto(box []transport.Message, counts []int, msg transport.Message) []transport.Message {
+	heavy := 0
+	for s := 1; s < len(counts); s++ {
+		if counts[s] > counts[heavy] {
+			heavy = s
+		}
+	}
+	from := int(msg.From)
+	if from >= len(counts) || counts[from] >= counts[heavy] {
+		return box
+	}
+	for i, held := range box {
+		if int(held.From) == heavy {
+			box = append(box[:i], box[i+1:]...)
+			break
+		}
+	}
+	counts[heavy]--
+	counts[from]++
+	return append(box, msg)
+}

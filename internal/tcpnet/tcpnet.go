@@ -606,19 +606,9 @@ func (c *Conn) BreakLink(peer int) {
 // for all up peers' frames, and returns the delivered messages sorted by
 // sender.
 func (c *Conn) Exchange(out []transport.Packet) ([]transport.Message, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
-	}
-	r := c.round
-	spent := c.spent
-	c.spent = c.spent[:0]
-	c.mu.Unlock()
-	// The previous round's borrowed payloads expire now — this is the
-	// "valid until the next Exchange call" edge of the contract.
-	for _, f := range spent {
-		f.Release()
+	r, err := c.beginRound()
+	if err != nil {
+		return nil, err
 	}
 
 	// Group payloads per destination.
@@ -659,6 +649,83 @@ func (c *Conn) Exchange(out []transport.Packet) ([]transport.Message, error) {
 		}
 	}
 
+	return c.awaitRound(r, selfMsgs)
+}
+
+// ExchangeVec implements transport.VecNet: one synchronous round whose
+// outgoing payloads are scatter-gather vectors. Each packet's pieces flow
+// into the per-peer writev by reference — multiplexers stacking a routing
+// header on payloads they don't own pay zero payload copies here. With
+// rejoin buffering on, the flat retained copy the tail needs doubles as
+// the write buffer, so the copy that must happen is the only one. On the
+// wire and at the receiver the round is indistinguishable from Exchange
+// over the concatenated payloads.
+func (c *Conn) ExchangeVec(out []transport.VecPacket) ([]transport.Message, error) {
+	r, err := c.beginRound()
+	if err != nil {
+		return nil, err
+	}
+
+	perDest := make([][][][]byte, c.n)
+	for i := range out {
+		p := &out[i]
+		if p.To < 0 || int(p.To) >= c.n {
+			continue
+		}
+		perDest[p.To] = append(perDest[p.To], p.Vec)
+	}
+	var selfMsgs []transport.Message
+	for _, v := range perDest[c.cfg.ID] {
+		// Self-delivery outlives the caller's pieces (the contract frees
+		// them when ExchangeVec returns), so it gets the one flattening
+		// copy the network peers don't pay.
+		selfMsgs = append(selfMsgs, transport.Message{From: transport.PartyID(c.cfg.ID), Payload: transport.FlattenVec(v)})
+	}
+	for j := 0; j < c.n; j++ {
+		if j == c.cfg.ID {
+			continue
+		}
+		if c.cfg.RejoinWindow > 0 {
+			frame := c.arena.EncodeFrameVecs(r, perDest[j])
+			c.bufferTail(j, r, frame)
+			c.vec = append(c.vec[:0], frame.Bytes())
+			c.flushLink(j, c.vec, 1)
+		} else {
+			vec, hdr := c.arena.AppendFrameVecs(c.vec[:0], r, perDest[j])
+			c.flushLink(j, vec, 1)
+			c.vec = vec[:0]
+			hdr.Release()
+		}
+	}
+
+	return c.awaitRound(r, selfMsgs)
+}
+
+var _ transport.VecNet = (*Conn)(nil)
+
+// beginRound opens a synchronous round: it snapshots the round number and
+// releases the previous round's borrowed payload frames — the "valid until
+// the next Exchange call" edge of the BorrowedReads contract.
+func (c *Conn) beginRound() (uint64, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClosed
+	}
+	r := c.round
+	spent := c.spent
+	c.spent = c.spent[:0]
+	c.mu.Unlock()
+	for _, f := range spent {
+		f.Release()
+	}
+	return r, nil
+}
+
+// awaitRound blocks until round r closes — all up peers' frames arrived or
+// Δ expired — then advances the round clock and returns the delivered
+// messages (self-deliveries included) sorted by sender.
+func (c *Conn) awaitRound(r uint64, selfMsgs []transport.Message) ([]transport.Message, error) {
 	deadline := time.Now().Add(c.cfg.Delta)
 	timer := time.AfterFunc(c.cfg.Delta, func() {
 		c.mu.Lock()
@@ -1131,7 +1198,17 @@ func helloHost(conn net.Conn) string {
 }
 
 func sortMessages(msgs []transport.Message) {
-	// Insertion sort: inboxes are small and mostly ordered.
+	// Sender order must be stable: a sender's messages keep arrival order,
+	// which multiplexers stacked above rely on for replay determinism.
+	// Small inboxes (one message per peer) take the insertion sort; a
+	// session-mux round delivers tens of thousands of messages in
+	// per-sender runs with many inversions, where insertion sort's
+	// quadratic worst case dominated whole-tick CPU — hand those to the
+	// O(m log m) stable sort.
+	if len(msgs) > 64 {
+		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+		return
+	}
 	for i := 1; i < len(msgs); i++ {
 		for j := i; j > 0 && msgs[j].From < msgs[j-1].From; j-- {
 			msgs[j], msgs[j-1] = msgs[j-1], msgs[j]

@@ -85,6 +85,50 @@ func ExchangeNone(net Net) ([]Message, error) {
 	return net.Exchange(nil)
 }
 
+// VecPacket is an outgoing message whose payload is a scatter-gather
+// vector: the delivered payload is the concatenation of Vec's pieces. It
+// exists for multiplexers that prepend small routing headers (an instance
+// or session id) to payloads they do not own — with a flat Packet the
+// header forces a copy of every payload byte; with a VecPacket the header
+// is one tiny piece and the payload rides by reference all the way into
+// the transport's vectored write.
+//
+// Ownership: every piece must stay valid and unmutated until ExchangeVec
+// returns. Transports that need a retained flat copy (in-process delivery,
+// rejoin-replay buffering) make it themselves.
+type VecPacket struct {
+	To  PartyID
+	Tag string
+	Vec [][]byte
+}
+
+// VecNet is an optional transport capability: a Net that can ship
+// scatter-gather packets without the caller flattening them. Semantics
+// must be byte-identical to Exchange over packets whose Payload is the
+// concatenation of each Vec — a receiver cannot tell which form the
+// sender used. The TCP transport implements it (pieces flow into its
+// writev vector uncopied); lock-step in-process transports, which retain
+// payloads by reference, do not.
+type VecNet interface {
+	Net
+	ExchangeVec(out []VecPacket) ([]Message, error)
+}
+
+// FlattenVec concatenates a scatter-gather payload into one fresh slice —
+// the copying fallback for delivery paths that must retain the payload
+// (self-delivery, non-vec transports).
+func FlattenVec(vec [][]byte) []byte {
+	n := 0
+	for _, p := range vec {
+		n += len(p)
+	}
+	out := make([]byte, 0, n)
+	for _, p := range vec {
+		out = append(out, p...)
+	}
+	return out
+}
+
 // FirstPerSender reduces an inbox to at most one payload per sender: the
 // first message each party sent this round. This models the synchronous
 // abstraction "the value received from P_j" — byzantine parties that spam

@@ -204,6 +204,89 @@ func (a *Arena) AppendFrameVec(vec [][]byte, round uint64, payloads [][]byte) ([
 	return vec, f
 }
 
+// vecLen returns the flattened length of a scatter-gather payload.
+func vecLen(vec [][]byte) int {
+	n := 0
+	for _, p := range vec {
+		n += len(p)
+	}
+	return n
+}
+
+// frameBodyLenVecs is frameBodyLen for scatter-gather payloads: each
+// payload's encoded length is that of its concatenated pieces.
+func frameBodyLenVecs(round uint64, payloads [][][]byte) int {
+	n := uvarintLen(round) + uvarintLen(uint64(len(payloads)))
+	for _, v := range payloads {
+		l := vecLen(v)
+		n += uvarintLen(uint64(l)) + l
+	}
+	return n
+}
+
+// EncodeFrameVecs is EncodeFrame for scatter-gather payloads: the pieces
+// of each payload are flattened into the pooled buffer, so the output is
+// byte-identical to EncodeFrame over the concatenated payloads
+// (TestEncodeFrameVecsMatchesReference pins this). It is the path for
+// transports that need a flat, retained copy of the frame anyway — the
+// rejoin tail — where the copy is the point, not an accident.
+func (a *Arena) EncodeFrameVecs(round uint64, payloads [][][]byte) *Frame {
+	body := frameBodyLenVecs(round, payloads)
+	f := a.frame(uvarintLen(uint64(body)) + body)
+	b := f.buf[:0]
+	b = binary.AppendUvarint(b, uint64(body))
+	b = binary.AppendUvarint(b, round)
+	b = binary.AppendUvarint(b, uint64(len(payloads)))
+	for _, v := range payloads {
+		b = binary.AppendUvarint(b, uint64(vecLen(v)))
+		for _, p := range v {
+			b = append(b, p...)
+		}
+	}
+	f.buf = b
+	return f
+}
+
+// AppendFrameVecs is AppendFrameVec for scatter-gather payloads: the
+// varint connective tissue goes into one pooled header frame and every
+// payload piece is appended to vec by reference — zero copies of payload
+// bytes, whether a payload arrives as one piece or many. Empty pieces are
+// skipped (a zero-length iovec buys nothing). The appended slices
+// concatenate to exactly the EncodeFrameVecs output, so a net.Buffers
+// writev of vec is indistinguishable on the wire from the flat frame.
+//
+// Ownership matches AppendFrameVec: vec's new entries alias the returned
+// header frame and the caller's pieces; write (or abandon) the vector
+// before releasing the frame or mutating any piece.
+func (a *Arena) AppendFrameVecs(vec [][]byte, round uint64, payloads [][][]byte) ([][]byte, *Frame) {
+	body := frameBodyLenVecs(round, payloads)
+	hdrLen := uvarintLen(uint64(body)) + uvarintLen(round) + uvarintLen(uint64(len(payloads)))
+	for _, v := range payloads {
+		hdrLen += uvarintLen(uint64(vecLen(v)))
+	}
+	f := a.frame(hdrLen)
+	b := f.buf[:0]
+	b = binary.AppendUvarint(b, uint64(body))
+	b = binary.AppendUvarint(b, round)
+	b = binary.AppendUvarint(b, uint64(len(payloads)))
+	mark := 0
+	for _, v := range payloads {
+		b = binary.AppendUvarint(b, uint64(vecLen(v)))
+		vec = append(vec, b[mark:len(b):len(b)])
+		mark = len(b)
+		for _, p := range v {
+			if len(p) > 0 {
+				vec = append(vec, p)
+			}
+		}
+	}
+	if mark < len(b) {
+		vec = append(vec, b[mark:len(b):len(b)])
+	}
+	f.buf = b
+	return vec, f
+}
+
 // ReadFrameInto reads one frame from r into a pooled buffer and returns
 // payload slices that alias it: the borrowing counterpart of the
 // package-level ReadFrame. scratch, when non-nil, is reused for the

@@ -41,8 +41,12 @@ fi
 echo "== go test"
 go test ./...
 
-echo "== go test -race (root, sim, rs, gf16, pool, merkle, wire, tcpnet, channet, faultnet, mux, asyncnet, checkpoint, errfs, supervisor, adversary, netattack)"
-go test -race -short . ./internal/sim/... ./internal/rs/... ./internal/gf16/... ./internal/pool/... ./internal/merkle/... ./internal/wire/... ./internal/tcpnet/... ./internal/channet/... ./internal/faultnet/... ./internal/mux/... ./internal/asyncnet/... ./internal/checkpoint/... ./internal/errfs/... ./internal/supervisor/... ./internal/adversary/... ./internal/netattack/...
+echo "== go test -race (root, sim, rs, gf16, pool, merkle, wire, tcpnet, channet, faultnet, mux, sessmux, asyncnet, checkpoint, errfs, supervisor, adversary, netattack)"
+go test -race -short . ./internal/sim/... ./internal/rs/... ./internal/gf16/... ./internal/pool/... ./internal/merkle/... ./internal/wire/... ./internal/tcpnet/... ./internal/channet/... ./internal/faultnet/... ./internal/mux/... ./internal/sessmux/... ./internal/asyncnet/... ./internal/checkpoint/... ./internal/errfs/... ./internal/supervisor/... ./internal/adversary/... ./internal/netattack/...
+
+echo "== sessmux battery (per-session isolation, deterministic shed, Byzantine frames, fault-replay digests, 256-session race stress)"
+go test -run 'TestSessionBoundIsolatesFloodingSibling|TestTickBoundShedsHeaviestSession|TestShedDeterministic|TestByzantineFramesDropped|TestFaultReplayDigestExact' -count=1 ./internal/sessmux/
+go test -race -run 'TestRaceStress256Sessions' -count=1 ./internal/sessmux/
 
 echo "== ingress battery (E19 active-adversary sweep + kill+flood soak + transport flood conformance)"
 go test -run 'TestE19IngressQuick' -count=1 ./internal/experiments/
@@ -70,17 +74,27 @@ if ! grep -q '"before"' "$latest"; then
 	exit 1
 fi
 
-echo "== allocs/op regression guard (zero-copy frame path, admission fast path, default-FS WAL append)"
-# Re-measure the pooled frame round-trip, the admission-gated read, and the
-# checkpoint append on the real filesystem, then compare allocs/op against
-# the checked-in record. Allocation counts are deterministic, so this gates
-# without flaking; a regression here means the zero-copy path grew a hidden
-# allocation, the per-frame admission check started allocating on honest
-# traffic, or the errfs VFS seam leaked an allocation into the default-FS
-# append path (the seam's zero-overhead contract).
-( go test -run '^$' -bench 'BenchmarkFrameRoundTrip|BenchmarkAdmission' -benchtime 100x -benchmem ./internal/wire/ ; \
-  go test -run '^$' -bench 'BenchmarkWALAppend$' -benchtime 100x -benchmem ./internal/checkpoint/ ) \
-	| go run ./cmd/benchjson -before "$latest" -guard-allocs 'FrameRoundTrip|Admission|WALAppend$' > /dev/null
+echo "== allocs/op regression guard (zero-copy frame path, admission fast path, default-FS WAL append, vec merge paths)"
+# Re-measure the pooled frame round-trip, the admission-gated read, the
+# checkpoint append on the real filesystem, and the scatter-gather merge
+# paths (wire AppendFrameVecs, mux/sessmux flushVec), then compare allocs/op
+# against the checked-in record. Allocation counts are deterministic, so this
+# gates without flaking; a regression here means a zero-copy path grew a
+# hidden allocation — e.g. the vec merge scratch stopped being reused across
+# rounds, which would silently re-introduce the per-round copies this path
+# exists to eliminate.
+( go test -run '^$' -bench 'BenchmarkFrameRoundTrip|BenchmarkAdmission|BenchmarkFrameVecs' -benchtime 100x -benchmem ./internal/wire/ ; \
+  go test -run '^$' -bench 'BenchmarkWALAppend$' -benchtime 100x -benchmem ./internal/checkpoint/ ; \
+  go test -run '^$' -bench 'BenchmarkMuxFlushVec' -benchtime 100x -benchmem ./internal/mux/ ; \
+  go test -run '^$' -bench 'BenchmarkSessmuxFlushVec' -benchtime 100x -benchmem ./internal/sessmux/ ) \
+	| go run ./cmd/benchjson -before "$latest" -guard-allocs 'FrameRoundTrip|Admission|WALAppend$|FrameVecs|MuxFlushVec|SessmuxFlushVec' > /dev/null
+
+echo "== session throughput guard (1024 sessions x n=16 within 30s)"
+# One full 1024-session wave set over the shared loopback mesh, gated on an
+# absolute wall-clock budget. Before the adaptive sortMessages fix this run
+# took >15s; the budget catches any return of quadratic per-tick work.
+go test -run '^$' -bench 'BenchmarkSessionThroughput$' -benchtime 1x -benchmem ./internal/sessmux/ \
+	| go run ./cmd/benchjson -guard-time 'SessionThroughput$=30s' > /dev/null
 
 echo "== calint runtime guard (full-tree analysis within 60s)"
 # One in-process full-tree analyzer run, gated on an absolute ns/op budget.

@@ -1,0 +1,148 @@
+package convexagreement
+
+import (
+	"math/big"
+
+	"convexagreement/internal/sessmux"
+	"convexagreement/internal/transport"
+)
+
+// SessionMux multiplexes many independent agreement sessions — each with
+// its own participant count, corruption budget, inputs, and lifecycle —
+// over ONE Transport, so a deployment holds a single mesh open instead of
+// one per agreement (see internal/sessmux for the tick model and
+// DESIGN.md §2.13 for the architecture).
+//
+// Over a TCP transport the path is zero-copy end to end: session payloads
+// flow by reference through the mux's merge into each peer's vectored
+// write, and all sessions sharing a tick coalesce into one writev per
+// peer. Every participant of a session must open it at the same tick with
+// the same (n, t); a party with no live sessions keeps the shared tick
+// clock with Idle.
+type SessionMux struct {
+	m *sessmux.Mux
+}
+
+// vecCapable is implemented by the built-in transports to hand the mux
+// their internal conn (VecNet-capable for TCP) instead of the boxed
+// public interface.
+type vecCapable interface {
+	internalNet() transport.Net
+}
+
+// NewSessionMux wraps tr. The transport must not be driven by anyone else
+// from this point on: the mux owns its round clock.
+func NewSessionMux(tr Transport) *SessionMux {
+	var base transport.Net
+	if vc, ok := tr.(vecCapable); ok {
+		base = vc.internalNet()
+	} else {
+		base = netAdapter{tr}
+	}
+	return &SessionMux{m: sessmux.New(base)}
+}
+
+// Open starts session sid with n participants (parties 0..n-1 of the
+// underlying transport) and corruption budget t (3t < n). Session ids are
+// single-use. The returned transport is live immediately; drive it from
+// one goroutine and Close it when the protocol finishes.
+func (sm *SessionMux) Open(sid uint64, n, t int) (*MuxedTransport, error) {
+	s, err := sm.m.Open(sid, n, t)
+	if err != nil {
+		return nil, err
+	}
+	return &MuxedTransport{s: s}, nil
+}
+
+// Idle keeps the tick clock for a party with no live sessions: it drives
+// (or waits out) exactly one tick, exchanging nothing.
+func (sm *SessionMux) Idle() error { return sm.m.Idle() }
+
+// Live reports the number of locally live sessions.
+func (sm *SessionMux) Live() int { return sm.m.Live() }
+
+// Stats returns cumulative mux counters (see sessmux.Stats for the field
+// semantics).
+func (sm *SessionMux) Stats() SessionMuxStats {
+	st := sm.m.Stats()
+	return SessionMuxStats{
+		Ticks:           st.Ticks,
+		Packets:         st.Packets,
+		BytesReferenced: st.BytesReferenced,
+		BytesCopied:     st.BytesCopied,
+		SessionShed:     st.SessionShed,
+		TickShed:        st.TickShed,
+	}
+}
+
+// SessionMuxStats are cumulative counters for one SessionMux.
+// Packets/Ticks is the coalescing ratio — how many session frames ride in
+// each physical round (one writev per peer on TCP). BytesReferenced
+// counts payload bytes shipped zero-copy; BytesCopied counts bytes that
+// took the copying merge (0 on a TCP base). SessionShed and TickShed
+// count backpressure drops at the two bounds.
+type SessionMuxStats struct {
+	Ticks           uint64
+	Packets         uint64
+	BytesReferenced uint64
+	BytesCopied     uint64
+	SessionShed     uint64
+	TickShed        uint64
+}
+
+// MuxedTransport is one live session's Transport. Close retires the
+// session locally; peers observe omission, and sibling sessions are
+// unaffected.
+type MuxedTransport struct {
+	s *sessmux.Session
+}
+
+var _ Transport = (*MuxedTransport)(nil)
+
+// Sid returns the session id.
+func (mt *MuxedTransport) Sid() uint64 { return mt.s.Sid() }
+
+// ID implements Transport.
+func (mt *MuxedTransport) ID() int { return int(mt.s.ID()) }
+
+// N implements Transport.
+func (mt *MuxedTransport) N() int { return mt.s.N() }
+
+// T implements Transport.
+func (mt *MuxedTransport) T() int { return mt.s.T() }
+
+// Exchange implements Transport: one virtual round of this session,
+// carried by the mux's next tick.
+func (mt *MuxedTransport) Exchange(out []Packet) ([]Message, error) {
+	internal := make([]transport.Packet, len(out))
+	for i, p := range out {
+		internal[i] = transport.Packet{To: transport.PartyID(p.To), Tag: p.Tag, Payload: p.Payload}
+	}
+	in, err := mt.s.Exchange(internal)
+	if err != nil {
+		return nil, err
+	}
+	msgs := make([]Message, len(in))
+	for i, m := range in {
+		msgs[i] = Message{From: int(m.From), Payload: m.Payload}
+	}
+	return msgs, nil
+}
+
+// Close retires the session locally.
+func (mt *MuxedTransport) Close() error {
+	mt.s.Close()
+	return nil
+}
+
+// RunSession opens session sid, runs the selected protocol over it with
+// the other participants, closes the session, and returns the agreed
+// value — RunParty scoped to one multiplexed session.
+func (sm *SessionMux) RunSession(sid uint64, n, t int, protocol Protocol, width int, input *big.Int) (*big.Int, error) {
+	mt, err := sm.Open(sid, n, t)
+	if err != nil {
+		return nil, err
+	}
+	defer mt.Close()
+	return RunParty(mt, protocol, width, input)
+}

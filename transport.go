@@ -187,6 +187,10 @@ func (t *TCPTransport) Exchange(out []Packet) ([]Message, error) {
 	return msgs, nil
 }
 
+// internalNet exposes the VecNet-capable inner conn so NewSessionMux can
+// select the zero-copy merge path.
+func (t *TCPTransport) internalNet() transport.Net { return t.conn }
+
 // Faulty returns the peers this party demoted to silent for the run —
 // caught violating the framing protocol or unreachable after all reconnect
 // attempts — ordered by party id.
@@ -274,6 +278,10 @@ func (l *LocalTransport) Exchange(out []Packet) ([]Message, error) {
 	}
 	return msgs, nil
 }
+
+// internalNet exposes the inner conn so NewSessionMux skips the
+// public-type round trip.
+func (l *LocalTransport) internalNet() transport.Net { return l.conn }
 
 // Close retires this party from the cluster.
 func (l *LocalTransport) Close() error {
